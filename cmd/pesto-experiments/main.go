@@ -1,0 +1,91 @@
+// Command pesto-experiments regenerates the tables and figures of the
+// Pesto paper's evaluation (§5) and prints them as text.
+//
+// Usage:
+//
+//	pesto-experiments [-small] [-ilp-time 20s] [-only figure7,table2]
+//
+// Experiment names: figure2, figure4a, figure4b, table1, figure5,
+// figure7, table2, table3, figure8a, figure8b, coarsening, validation,
+// extended, multigpu.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pesto/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pesto-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pesto-experiments", flag.ContinueOnError)
+	var (
+		small   = fs.Bool("small", false, "use scaled-down model variants (seconds instead of minutes)")
+		ilpTime = fs.Duration("ilp-time", 0, "Pesto ILP+refinement budget per placement (0 = default)")
+		only    = fs.String("only", "", "comma-separated experiment names; empty = all")
+		seed    = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Small: *small, ILPTimeLimit: *ilpTime, Seed: *seed}
+	ctx := context.Background()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*only, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	type experiment struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	exps := []experiment{
+		{"figure2", func() (fmt.Stringer, error) { return experiments.Figure2(ctx, cfg) }},
+		{"figure4a", func() (fmt.Stringer, error) { return experiments.Figure4a(cfg) }},
+		{"figure4b", func() (fmt.Stringer, error) { return experiments.Figure4b(cfg) }},
+		{"table1", func() (fmt.Stringer, error) { return experiments.Table1(cfg) }},
+		{"figure5", func() (fmt.Stringer, error) { return experiments.Figure5(ctx, cfg) }},
+		{"figure7", func() (fmt.Stringer, error) { return experiments.Figure7(ctx, cfg) }},
+		{"table2", func() (fmt.Stringer, error) { return experiments.Table2(ctx, cfg) }},
+		{"table3", func() (fmt.Stringer, error) { return experiments.Table3(ctx, cfg) }},
+		{"figure8a", func() (fmt.Stringer, error) { return experiments.Figure8a(ctx, cfg) }},
+		{"figure8b", func() (fmt.Stringer, error) { return experiments.Figure8b(ctx, cfg) }},
+		{"coarsening", func() (fmt.Stringer, error) { return experiments.CoarseningSensitivity(ctx, cfg, nil) }},
+		{"validation", func() (fmt.Stringer, error) { return experiments.SimulatorValidation(ctx, cfg) }},
+		{"extended", func() (fmt.Stringer, error) { return experiments.ExtendedBaselines(ctx, cfg) }},
+		{"multigpu", func() (fmt.Stringer, error) { return experiments.MultiGPU(ctx, cfg) }},
+	}
+	ran := 0
+	for _, e := range exps {
+		if !selected(e.name) {
+			continue
+		}
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Println(res)
+		fmt.Printf("(%s took %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q", *only)
+	}
+	return nil
+}

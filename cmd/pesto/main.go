@@ -1,0 +1,170 @@
+// Command pesto places and schedules one of the paper's DNN model
+// variants on a simulated CPU + 2-GPU machine and reports the per-step
+// training time under the chosen strategy.
+//
+// Usage:
+//
+//	pesto -model RNNLM-2-2048 [-strategy pesto|expert|baechi|single]
+//	      [-ilp-time 10s] [-coarsen 192] [-gpus 2] [-gpu-mem-gb 16]
+//	      [-timeline N] [-dot out.dot]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pesto"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pesto:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pesto", flag.ContinueOnError)
+	var (
+		model    = fs.String("model", "RNNLM-2-2048", "model variant (see -list)")
+		list     = fs.Bool("list", false, "list model variants and exit")
+		strategy = fs.String("strategy", "pesto", "pesto | expert | baechi | single | heft")
+		ilpTime  = fs.Duration("ilp-time", 10*time.Second, "Pesto ILP+refinement time budget")
+		coarsen  = fs.Int("coarsen", 0, "coarsening target (0 = default)")
+		gpus     = fs.Int("gpus", 2, "number of GPUs")
+		gpuMemGB = fs.Int64("gpu-mem-gb", 16, "GPU memory in GiB")
+		timeline = fs.Int("timeline", 0, "print the first N inter-GPU transfers")
+		gantt    = fs.Bool("gantt", false, "print a text Gantt chart of the step")
+		planOut  = fs.String("plan-out", "", "write the chosen plan as JSON to this file")
+		chromeTr = fs.String("chrome-trace", "", "write a Chrome Trace Event file for chrome://tracing")
+		dotPath  = fs.String("dot", "", "write the model graph in DOT format to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, v := range pesto.ModelVariants() {
+			fmt.Printf("%-24s family=%s\n", v.Name, v.Family)
+		}
+		return nil
+	}
+
+	g, err := pesto.BuildModel(*model)
+	if err != nil {
+		return err
+	}
+	sys := pesto.NewSystem(*gpus, *gpuMemGB<<30)
+	fmt.Printf("model %s: %d operations, %d edges, %.1f GiB footprint\n",
+		*model, g.NumNodes(), g.NumEdges(), float64(g.TotalMemory())/(1<<30))
+
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := g.WriteDOT(f, *model); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *dotPath)
+	}
+
+	var plan pesto.Plan
+	switch *strategy {
+	case "pesto":
+		res, err := pesto.PlaceMultiGPU(context.Background(), g, sys, pesto.PlaceOptions{
+			ILPTimeLimit:    *ilpTime,
+			CoarsenTarget:   *coarsen,
+			ScheduleFromILP: true,
+		})
+		if err != nil {
+			return err
+		}
+		plan = res.Plan
+		fmt.Printf("pesto: coarse=%d vertices, ilp=%v (gap %.3f, %d nodes), placement time %v\n",
+			res.CoarseSize, res.ILPStatus, res.Gap, res.Nodes, res.PlacementTime.Round(time.Millisecond))
+	case "expert":
+		branchy := false
+		for _, v := range pesto.ModelVariants() {
+			if v.Name == *model {
+				branchy = v.Branchy
+			}
+		}
+		plan, err = pesto.ExpertPlan(g, sys, branchy)
+		if err != nil {
+			return err
+		}
+	case "baechi":
+		var name string
+		plan, name, _, err = pesto.BaechiPlan(g, sys)
+		if err != nil {
+			return err
+		}
+		fmt.Println("baechi heuristic:", name)
+	case "single":
+		plan, err = pesto.SingleGPUPlan(g, sys)
+		if err != nil {
+			return err
+		}
+	case "heft":
+		plan, err = pesto.HEFTPlan(g, sys)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+
+	step, err := pesto.Simulate(g, sys, plan)
+	if err != nil {
+		if errors.Is(err, pesto.ErrOOM) {
+			fmt.Println("result: OOM —", err)
+			return nil
+		}
+		return err
+	}
+	fmt.Printf("per-step training time: %v\n", step.Makespan)
+	for _, d := range sys.Devices {
+		fmt.Printf("  %-8s utilization %5.1f%%\n", d.Name, 100*step.Utilization(d.ID))
+	}
+	fmt.Printf("  transfers: %d (max queueing %v)\n", len(step.Transfers), step.MaxQueueing())
+	if *gantt {
+		if err := pesto.WriteGantt(os.Stdout, g, sys, plan, step); err != nil {
+			return err
+		}
+	}
+	if *chromeTr != "" {
+		f, err := os.Create(*chromeTr)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pesto.WriteChromeTrace(f, g, sys, plan, step); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *chromeTr)
+	}
+	if *planOut != "" {
+		f, err := os.Create(*planOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pesto.WritePlan(f, plan); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *planOut)
+	}
+	for i, tr := range step.Transfers {
+		if i >= *timeline {
+			break
+		}
+		fmt.Printf("  [%6v → %6v] dev%d→dev%d %d B (queued %v)\n",
+			tr.Start, tr.Finish, tr.From, tr.To, tr.Edge.Bytes, tr.Queued())
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+// Congestion: the Figure 5 story. Pesto's ILP models every one-way
+// inter-GPU link as a FCFS queue; disabling the congestion constraints
+// (7) lets the planner bunch transfers that then serialize at runtime.
+// This example places an RNNLM with and without the constraints and
+// prints the realized transfer timelines side by side.
+//
+//	go run ./examples/congestion
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"pesto"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	g, err := pesto.BuildModel("RNNLM-small")
+	if err != nil {
+		return err
+	}
+	sys := pesto.NewSystem(2, 16<<30)
+
+	type outcome struct {
+		name string
+		opts pesto.PlaceOptions
+	}
+	runs := []outcome{
+		{"with congestion constraints", pesto.PlaceOptions{ILPTimeLimit: 3 * time.Second, ScheduleFromILP: true}},
+		{"without congestion constraints", pesto.PlaceOptions{ILPTimeLimit: 3 * time.Second, ScheduleFromILP: true, DisableCongestion: true}},
+	}
+	for _, rn := range runs {
+		res, err := pesto.Place(context.Background(), g, sys, rn.opts)
+		if err != nil {
+			return err
+		}
+		step, err := pesto.Simulate(g, sys, res.Plan)
+		if err != nil {
+			return err
+		}
+		var queued time.Duration
+		congested := 0
+		for _, tr := range step.Transfers {
+			queued += tr.Queued()
+			if tr.Queued() > 0 {
+				congested++
+			}
+		}
+		fmt.Printf("%s:\n", rn.name)
+		fmt.Printf("  per-step time      %v\n", step.Makespan)
+		fmt.Printf("  transfers          %d (%d queued behind another)\n", len(step.Transfers), congested)
+		fmt.Printf("  total queueing     %v (max %v)\n", queued, step.MaxQueueing())
+		// A small Gantt of the busiest link: GPU0→GPU1.
+		fmt.Println("  first transfers on gpu0→gpu1:")
+		shown := 0
+		for _, tr := range step.Transfers {
+			if tr.From != 1 || tr.To != 2 || shown >= 5 {
+				continue
+			}
+			bar := time.Duration(0)
+			if tr.Queued() > 0 {
+				bar = tr.Queued()
+			}
+			fmt.Printf("    enq %-10v start %-10v done %-10v wait %v\n",
+				tr.Enqueue, tr.Start, tr.Finish, bar)
+			shown++
+		}
+	}
+	fmt.Println("\nThe paper's Figure 5 shows the same mechanism at full scale:")
+	fmt.Println("without constraint group (7), transfers bunch on one link and")
+	fmt.Println("the RNNLM step inflates ~3x.")
+	return nil
+}

@@ -1,0 +1,83 @@
+// Quickstart: build a model, profile it, place it with Pesto, and
+// simulate one training step — the end-to-end pipeline of the paper in
+// ~40 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"pesto"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// An RNNLM language model (scaled down so this demo runs in
+	// seconds; use "RNNLM-2-2048" for the paper-scale variant).
+	g, err := pesto.BuildModel("RNNLM-small")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: %d operations, %d tensor edges, %.1f GiB\n",
+		g.NumNodes(), g.NumEdges(), float64(g.TotalMemory())/(1<<30))
+
+	// The paper's testbed: one CPU, two 16 GiB GPUs, NVLink + PCIe.
+	sys := pesto.NewSystem(2, 16<<30)
+
+	// §3.1: estimate per-operation compute times from a few training
+	// iterations (the paper runs 100; their variability is tiny).
+	cdf, err := pesto.ProfileCompute(g, 25, 42)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("profiled %d ops; median normalized stddev %.3f\n", len(cdf), cdf[len(cdf)/2])
+
+	// §3.2–3.3: coarsen, solve the placement+scheduling ILP, refine.
+	res, err := pesto.Place(context.Background(), g, sys, pesto.PlaceOptions{
+		ILPTimeLimit:    3 * time.Second,
+		ScheduleFromILP: true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pesto placed in %v (coarse graph: %d vertices, ILP: %v)\n",
+		res.PlacementTime.Round(time.Millisecond), res.CoarseSize, res.ILPStatus)
+
+	// Simulate one training step and compare against the single-GPU
+	// default and the manual Expert recipe.
+	step, err := pesto.Simulate(g, sys, res.Plan)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pesto per-step time: %v (gpu0 %.0f%%, gpu1 %.0f%% busy)\n",
+		step.Makespan, 100*step.Utilization(1), 100*step.Utilization(2))
+
+	for _, alt := range []struct {
+		name string
+		plan func() (pesto.Plan, error)
+	}{
+		{"single GPU", func() (pesto.Plan, error) { return pesto.SingleGPUPlan(g, sys) }},
+		{"expert", func() (pesto.Plan, error) { return pesto.ExpertPlan(g, sys, false) }},
+	} {
+		plan, err := alt.plan()
+		if err != nil {
+			return err
+		}
+		r, err := pesto.Simulate(g, sys, plan)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s per-step time: %v (pesto is %.1f%% faster)\n",
+			alt.name, r.Makespan, 100*(1-float64(step.Makespan)/float64(r.Makespan)))
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module pesto
+
+go 1.22

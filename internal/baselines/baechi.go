@@ -1,0 +1,270 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"pesto/internal/graph"
+	"pesto/internal/sim"
+)
+
+// BaechiHeuristic selects one of Baechi's three memory-aware placement
+// algorithms (Jeon et al., SoCC'20), the algorithmic state of the art
+// Pesto compares against in Figure 7 and Tables 2–3.
+type BaechiHeuristic int
+
+const (
+	// MTopo splits a topological order into per-device chunks by
+	// memory budget.
+	MTopo BaechiHeuristic = iota + 1
+	// METF greedily assigns the ready task that can start earliest,
+	// memory permitting (memory-aware Earliest-Task-First).
+	METF
+	// MSCT augments m-ETF with Small-Communication-Times favorite-child
+	// preferences: each task's heaviest-communication successor is
+	// biased onto the same device, approximating the SCT LP of Hanen &
+	// Munier as Baechi does. In the paper's experiments m-SCT is the
+	// best Baechi heuristic throughout.
+	MSCT
+)
+
+// String implements fmt.Stringer.
+func (h BaechiHeuristic) String() string {
+	switch h {
+	case MTopo:
+		return "m-TOPO"
+	case METF:
+		return "m-ETF"
+	case MSCT:
+		return "m-SCT"
+	default:
+		return fmt.Sprintf("BaechiHeuristic(%d)", int(h))
+	}
+}
+
+// Baechi computes a memory-aware placement with the selected heuristic.
+// Like the original system, it emits placement only (the framework's
+// ready queue schedules operations).
+func Baechi(g *graph.Graph, sys sim.System, h BaechiHeuristic) (sim.Plan, error) {
+	gpus := sys.GPUs()
+	if len(gpus) == 0 {
+		return sim.Plan{}, ErrNoGPUs
+	}
+	var (
+		dev []sim.DeviceID
+		err error
+	)
+	switch h {
+	case MTopo:
+		dev, err = mTopo(g, sys, gpus)
+	case METF:
+		dev, err = mETFLike(g, sys, gpus, false)
+	case MSCT:
+		dev, err = mETFLike(g, sys, gpus, true)
+	default:
+		return sim.Plan{}, fmt.Errorf("unknown baechi heuristic %d", h)
+	}
+	if err != nil {
+		return sim.Plan{}, err
+	}
+	applyColoc(g, dev)
+	return sim.Plan{Device: dev, Policy: sim.PolicyFIFO}, nil
+}
+
+// BestBaechi evaluates all three heuristics through the simulator and
+// returns the fastest feasible plan with its heuristic — the paper
+// always reports "the best Baechi heuristic" (in its experiments,
+// m-SCT).
+func BestBaechi(g *graph.Graph, sys sim.System) (sim.Plan, BaechiHeuristic, time.Duration, error) {
+	var (
+		bestPlan sim.Plan
+		bestH    BaechiHeuristic
+		bestMk   time.Duration
+		found    bool
+	)
+	for _, h := range []BaechiHeuristic{MSCT, METF, MTopo} {
+		plan, err := Baechi(g, sys, h)
+		if err != nil {
+			continue
+		}
+		res, err := sim.Run(g, sys, plan)
+		if err != nil {
+			continue
+		}
+		if !found || res.Makespan < bestMk {
+			bestPlan, bestH, bestMk, found = plan, h, res.Makespan, true
+		}
+	}
+	if !found {
+		return sim.Plan{}, 0, 0, fmt.Errorf("no baechi heuristic produced a feasible plan: %w", sim.ErrOOM)
+	}
+	return bestPlan, bestH, bestMk, nil
+}
+
+// mTopo fills devices with contiguous chunks of the topological order,
+// bounded by a per-device memory budget.
+func mTopo(g *graph.Graph, sys sim.System, gpus []sim.DeviceID) ([]sim.DeviceID, error) {
+	dev, gpuOps := cpuPlacement(g, sys)
+	var total int64
+	for _, id := range gpuOps {
+		nd, _ := g.Node(id)
+		total += nd.Memory
+	}
+	budget := total/int64(len(gpus)) + 1
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	gi := 0
+	var used int64
+	for _, id := range order {
+		nd, _ := g.Node(id)
+		if nd.Kind != graph.KindGPU {
+			continue
+		}
+		if used+nd.Memory > budget && gi < len(gpus)-1 {
+			gi++
+			used = 0
+		}
+		dev[id] = gpus[gi]
+		used += nd.Memory
+	}
+	return dev, nil
+}
+
+// mETFLike is the scheduling core shared by m-ETF and m-SCT. It builds
+// a tentative schedule (earliest start times with communication and
+// device-availability constraints) and keeps the resulting placement.
+func mETFLike(g *graph.Graph, sys sim.System, gpus []sim.DeviceID, sct bool) ([]sim.DeviceID, error) {
+	dev, _ := cpuPlacement(g, sys)
+	n := g.NumNodes()
+	if _, err := g.TopoSort(); err != nil {
+		return nil, err
+	}
+
+	// Favorite child per node: the successor with the largest tensor
+	// (SCT's "small communication times" preference).
+	fav := make([]graph.NodeID, n)
+	for i := range fav {
+		fav[i] = -1
+	}
+	if sct {
+		for i := 0; i < n; i++ {
+			var best int64 = -1
+			for _, e := range g.Succ(graph.NodeID(i)) {
+				if e.Bytes > best {
+					best = e.Bytes
+					fav[i] = e.To
+				}
+			}
+		}
+	}
+
+	// Device state. The CPU participates for CPU/kernel ops so cross
+	// CPU-GPU communication is accounted for.
+	devFree := make(map[sim.DeviceID]time.Duration, len(sys.Devices))
+	memUsed := make(map[sim.DeviceID]int64, len(sys.Devices))
+	lastOn := make(map[sim.DeviceID]graph.NodeID)
+	finish := make([]time.Duration, n)
+
+	pending := make([]int, n)
+	var ready []graph.NodeID
+	for i := 0; i < n; i++ {
+		pending[i] = g.InDegree(graph.NodeID(i))
+		if pending[i] == 0 {
+			ready = append(ready, graph.NodeID(i))
+		}
+	}
+
+	capOf := func(d sim.DeviceID) int64 {
+		dv, _ := sys.Device(d)
+		return dv.Memory
+	}
+	est := func(id graph.NodeID, d sim.DeviceID) time.Duration {
+		t := devFree[d]
+		for _, e := range g.Pred(id) {
+			arr := finish[e.From]
+			if dev[e.From] != d {
+				arr += sys.TransferTime(dev[e.From], d, e.Bytes)
+			}
+			if arr > t {
+				t = arr
+			}
+		}
+		return t
+	}
+
+	for len(ready) > 0 {
+		// Pick the (op, device) pair with minimum EST; m-SCT biases
+		// favorite children towards their parent's device.
+		bestI, bestScore := -1, time.Duration(math.MaxInt64)
+		var bestDev sim.DeviceID
+		sort.Slice(ready, func(a, b int) bool { return ready[a] < ready[b] })
+		for ri, id := range ready {
+			nd, _ := g.Node(id)
+			var candidates []sim.DeviceID
+			if nd.Kind == graph.KindGPU {
+				candidates = gpus
+			} else {
+				candidates = []sim.DeviceID{sys.CPUID()}
+			}
+			for _, d := range candidates {
+				if c := capOf(d); c > 0 && nd.Kind == graph.KindGPU && memUsed[d]+nd.Memory > c {
+					continue // memory-aware: skip full devices
+				}
+				score := est(id, d)
+				if sct {
+					// Prefer running a favorite child right after its
+					// parent on the same device.
+					for _, e := range g.Pred(id) {
+						if fav[e.From] == id && dev[e.From] == d && lastOn[d] == e.From {
+							score -= sys.TransferTime(d, otherGPU(gpus, d), e.Bytes) / 2
+							if score < 0 {
+								score = 0
+							}
+						}
+					}
+				}
+				if score < bestScore {
+					bestScore = score
+					bestI = ri
+					bestDev = d
+				}
+			}
+		}
+		if bestI < 0 {
+			return nil, fmt.Errorf("baechi: no device fits any ready op: %w", sim.ErrOOM)
+		}
+		id := ready[bestI]
+		ready = append(ready[:bestI], ready[bestI+1:]...)
+		nd, _ := g.Node(id)
+		start := est(id, bestDev)
+		finish[id] = start + nd.Cost
+		devFree[bestDev] = finish[id]
+		dev[id] = bestDev
+		lastOn[bestDev] = id
+		if nd.Kind == graph.KindGPU {
+			memUsed[bestDev] += nd.Memory
+		}
+		for _, e := range g.Succ(id) {
+			pending[e.To]--
+			if pending[e.To] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	return dev, nil
+}
+
+// otherGPU returns some GPU different from d (or d itself when there is
+// only one).
+func otherGPU(gpus []sim.DeviceID, d sim.DeviceID) sim.DeviceID {
+	for _, g := range gpus {
+		if g != d {
+			return g
+		}
+	}
+	return d
+}

@@ -1,0 +1,189 @@
+// Package baselines implements the placement strategies Pesto is
+// evaluated against in §5 of the paper:
+//
+//   - Expert: the manual, layer-wise placement domain experts use
+//     (contiguous blocks of layers per GPU; embedding with the first
+//     layer; attention/softmax with the last; NASNet branches split
+//     across GPUs within each cell). Expert ignores memory, which is
+//     why it OOMs on the large NASNet variants in Figure 7.
+//   - Baechi (Jeon et al., SoCC'20) heuristics: m-TOPO, m-ETF and
+//     m-SCT, re-implemented from the algorithm descriptions — memory-
+//     aware variants of topological splitting, Earliest-Task-First and
+//     Small-Communication-Times scheduling.
+//   - A critical-path list scheduler (the "naive scheduling" of
+//     Figure 2(b)).
+//
+// All strategies produce a sim.Plan with placement only (Policy FIFO):
+// like their originals, they rely on the framework's ready-queue
+// scheduling rather than installing control dependencies.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"pesto/internal/graph"
+	"pesto/internal/sim"
+)
+
+// ErrNoGPUs is returned when the system has no GPU to place onto.
+var ErrNoGPUs = errors.New("system has no GPUs")
+
+// cpuPlacement pre-fills the CPU-bound operations and returns the list
+// of GPU operations left to place.
+func cpuPlacement(g *graph.Graph, sys sim.System) ([]sim.DeviceID, []graph.NodeID) {
+	dev := make([]sim.DeviceID, g.NumNodes())
+	var gpuOps []graph.NodeID
+	for _, nd := range g.Nodes() {
+		if nd.Kind == graph.KindGPU {
+			gpuOps = append(gpuOps, nd.ID)
+		} else {
+			dev[nd.ID] = sys.CPUID()
+		}
+	}
+	return dev, gpuOps
+}
+
+// applyColoc forces every colocation group onto the device of its first
+// member.
+func applyColoc(g *graph.Graph, dev []sim.DeviceID) {
+	rep := make(map[string]sim.DeviceID)
+	for _, nd := range g.Nodes() {
+		if nd.Kind != graph.KindGPU || nd.Coloc == "" {
+			continue
+		}
+		if d, ok := rep[nd.Coloc]; ok {
+			dev[nd.ID] = d
+		} else {
+			rep[nd.Coloc] = dev[nd.ID]
+		}
+	}
+}
+
+// ExpertMode selects the manual placement family.
+type ExpertMode int
+
+const (
+	// ExpertLayered assigns contiguous blocks of layers to each GPU,
+	// balancing total compute — the RNNLM/NMT/Transformer expert
+	// strategy [58].
+	ExpertLayered ExpertMode = iota + 1
+	// ExpertBranches splits the parallel branches inside each layer
+	// (NASNet cell) across GPUs — the NASNet expert strategy [10].
+	ExpertBranches
+)
+
+// Expert produces the manual expert placement. It deliberately ignores
+// memory capacities (it models a human following the published layer
+// recipes); sim.Run will surface ErrOOM exactly as TensorFlow does.
+func Expert(g *graph.Graph, sys sim.System, mode ExpertMode) (sim.Plan, error) {
+	gpus := sys.GPUs()
+	if len(gpus) == 0 {
+		return sim.Plan{}, ErrNoGPUs
+	}
+	dev, gpuOps := cpuPlacement(g, sys)
+	switch mode {
+	case ExpertLayered:
+		expertLayered(g, gpus, dev, gpuOps)
+	case ExpertBranches:
+		expertBranches(g, gpus, dev, gpuOps)
+	default:
+		return sim.Plan{}, fmt.Errorf("unknown expert mode %d", mode)
+	}
+	applyColoc(g, dev)
+	return sim.Plan{Device: dev, Policy: sim.PolicyFIFO}, nil
+}
+
+// expertLayered splits layers into contiguous, compute-balanced blocks.
+func expertLayered(g *graph.Graph, gpus []sim.DeviceID, dev []sim.DeviceID, gpuOps []graph.NodeID) {
+	// Total compute per layer.
+	layerCost := make(map[int]time.Duration)
+	var layers []int
+	for _, id := range gpuOps {
+		nd, _ := g.Node(id)
+		if _, seen := layerCost[nd.Layer]; !seen {
+			layers = append(layers, nd.Layer)
+		}
+		layerCost[nd.Layer] += nd.Cost
+	}
+	sort.Ints(layers)
+	var total time.Duration
+	for _, l := range layers {
+		total += layerCost[l]
+	}
+	// Greedy contiguous split: advance to the next GPU once the running
+	// cost crosses the per-GPU share.
+	layerDev := make(map[int]sim.DeviceID, len(layers))
+	share := total / time.Duration(len(gpus))
+	gi := 0
+	var run time.Duration
+	for _, l := range layers {
+		layerDev[l] = gpus[gi]
+		run += layerCost[l]
+		if run >= share && gi < len(gpus)-1 {
+			gi++
+			run = 0
+		}
+	}
+	for _, id := range gpuOps {
+		nd, _ := g.Node(id)
+		dev[id] = layerDev[nd.Layer]
+	}
+}
+
+// expertBranches round-robins the parallel branches within each layer
+// (NASNet cell) across GPUs using the Branch tags on nodes; untagged
+// operations (cell stems, concats, softmax) follow the first GPU, which
+// is exactly the footprint imbalance that makes Expert OOM on the large
+// NASNet variants in Figure 7.
+func expertBranches(g *graph.Graph, gpus []sim.DeviceID, dev []sim.DeviceID, gpuOps []graph.NodeID) {
+	for _, id := range gpuOps {
+		nd, _ := g.Node(id)
+		if nd.Branch > 0 {
+			dev[id] = gpus[(nd.Branch-1)%len(gpus)]
+		} else {
+			dev[id] = gpus[0]
+		}
+	}
+}
+
+// SingleGPU places every GPU operation on the first GPU — TensorFlow's
+// default behaviour (§6: "TensorFlow tries to fit the entire DNN on a
+// single GPU").
+func SingleGPU(g *graph.Graph, sys sim.System) (sim.Plan, error) {
+	gpus := sys.GPUs()
+	if len(gpus) == 0 {
+		return sim.Plan{}, ErrNoGPUs
+	}
+	dev, gpuOps := cpuPlacement(g, sys)
+	for _, id := range gpuOps {
+		dev[id] = gpus[0]
+	}
+	return sim.Plan{Device: dev, Policy: sim.PolicyFIFO}, nil
+}
+
+// CriticalPathPlan is the "naive scheduling" of Figure 2(b): single
+// placement given, priority by hop-count distance to the sink —
+// longest-path-first while ignoring compute requirements.
+func CriticalPathPlan(g *graph.Graph, base sim.Plan) (sim.Plan, error) {
+	n := g.NumNodes()
+	order, err := g.TopoSort()
+	if err != nil {
+		return sim.Plan{}, err
+	}
+	prio := make([]float64, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, e := range g.Succ(v) {
+			if prio[e.To]+1 > prio[v] {
+				prio[v] = prio[e.To] + 1
+			}
+		}
+	}
+	out := base
+	out.Policy = sim.PolicyPriority
+	out.Priority = prio
+	return out, nil
+}

@@ -1,0 +1,311 @@
+package baselines
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pesto/internal/graph"
+	"pesto/internal/models"
+	"pesto/internal/sim"
+)
+
+const gpuMem = 16 << 30
+
+func smallRNNLM(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := models.RNNLM(models.RNNLMConfig{Layers: 2, Hidden: 128, Batch: 8, SeqLen: 4, Vocab: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func smallNASNet(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := models.NASNet(models.NASNetConfig{Cells: 2, Filters: 16, Batch: 2, Spatial: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExpertLayeredIsContiguousAndBalanced(t *testing.T) {
+	g := smallRNNLM(t)
+	sys := sim.NewSystem(2, gpuMem)
+	plan, err := Expert(g, sys, ExpertLayered)
+	if err != nil {
+		t.Fatalf("Expert: %v", err)
+	}
+	if err := plan.Validate(g, sys); err != nil {
+		t.Fatalf("invalid plan: %v", err)
+	}
+	// Layer → device must be monotone: once we switch to GPU2 we never
+	// go back (contiguous blocks).
+	devByLayer := map[int]sim.DeviceID{}
+	maxLayer := 0
+	for _, nd := range g.Nodes() {
+		if nd.Kind != graph.KindGPU {
+			continue
+		}
+		if d, ok := devByLayer[nd.Layer]; ok && d != plan.Device[nd.ID] {
+			t.Fatalf("layer %d split across devices", nd.Layer)
+		}
+		devByLayer[nd.Layer] = plan.Device[nd.ID]
+		if nd.Layer > maxLayer {
+			maxLayer = nd.Layer
+		}
+	}
+	switched := false
+	for l := 1; l <= maxLayer; l++ {
+		d, ok := devByLayer[l]
+		if !ok {
+			continue
+		}
+		if d == 2 {
+			switched = true
+		} else if switched {
+			t.Fatalf("layer %d back on GPU1 after switch: not contiguous", l)
+		}
+	}
+	if !switched {
+		t.Fatal("expert never used the second GPU")
+	}
+	// Both GPUs host meaningful compute.
+	res, err := sim.Run(g, sys, plan)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if res.DeviceBusy[1] == 0 || res.DeviceBusy[2] == 0 {
+		t.Fatal("one GPU idle under expert placement")
+	}
+}
+
+func TestExpertBranchesSplitsNASNet(t *testing.T) {
+	g := smallNASNet(t)
+	sys := sim.NewSystem(2, gpuMem)
+	plan, err := Expert(g, sys, ExpertBranches)
+	if err != nil {
+		t.Fatalf("Expert: %v", err)
+	}
+	// Odd branches on GPU1, even on GPU2, untagged on GPU1.
+	for _, nd := range g.Nodes() {
+		if nd.Kind != graph.KindGPU {
+			continue
+		}
+		want := sim.DeviceID(1)
+		if nd.Branch > 0 && (nd.Branch-1)%2 == 1 {
+			want = 2
+		}
+		if plan.Device[nd.ID] != want {
+			t.Fatalf("op %q (branch %d) on %v, want %v", nd.Name, nd.Branch, plan.Device[nd.ID], want)
+		}
+	}
+	if _, err := sim.Run(g, sys, plan); err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+}
+
+func TestExpertOOMOnOversizedUnbalancedModel(t *testing.T) {
+	// Calibrate a NASNet so the untagged+odd-branch share exceeds one
+	// GPU while a balanced split fits — the Figure 7 Expert-OOM
+	// scenario.
+	g, err := models.NASNet(models.NASNetConfig{Cells: 2, Filters: 16, Batch: 2, Spatial: 4, TargetMemory: 29 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sim.NewSystem(2, gpuMem)
+	plan, err := Expert(g, sys, ExpertBranches)
+	if err != nil {
+		t.Fatalf("Expert: %v", err)
+	}
+	if _, err := sim.Run(g, sys, plan); !errors.Is(err, sim.ErrOOM) {
+		t.Fatalf("expected Expert to OOM, got %v", err)
+	}
+	// Baechi must still find a feasible plan.
+	bplan, _, _, err := BestBaechi(g, sys)
+	if err != nil {
+		t.Fatalf("BestBaechi: %v", err)
+	}
+	if _, err := sim.Run(g, sys, bplan); err != nil {
+		t.Fatalf("baechi plan OOMs too: %v", err)
+	}
+}
+
+func TestBaechiHeuristicsProduceValidPlans(t *testing.T) {
+	g := smallRNNLM(t)
+	sys := sim.NewSystem(2, gpuMem)
+	for _, h := range []BaechiHeuristic{MTopo, METF, MSCT} {
+		plan, err := Baechi(g, sys, h)
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if err := plan.Validate(g, sys); err != nil {
+			t.Fatalf("%v: invalid plan: %v", h, err)
+		}
+		if _, err := sim.Run(g, sys, plan); err != nil {
+			t.Fatalf("%v: simulate: %v", h, err)
+		}
+	}
+}
+
+func TestBaechiMemoryAware(t *testing.T) {
+	// Three 7GB ops on 2×16GB GPUs: no GPU can host all three; all
+	// heuristics must split them across devices.
+	g := graph.New(3)
+	var ids []graph.NodeID
+	for i := 0; i < 3; i++ {
+		ids = append(ids, g.AddNode(graph.Node{
+			Name: "big", Kind: graph.KindGPU,
+			Cost: 100 * time.Microsecond, Memory: 7 << 30, Layer: 1,
+		}))
+	}
+	_ = g.AddEdge(ids[0], ids[1], 1<<10)
+	_ = g.AddEdge(ids[1], ids[2], 1<<10)
+	sys := sim.NewSystem(2, gpuMem)
+	for _, h := range []BaechiHeuristic{MTopo, METF, MSCT} {
+		plan, err := Baechi(g, sys, h)
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if _, err := sim.Run(g, sys, plan); err != nil {
+			t.Fatalf("%v: placement OOMs: %v", h, err)
+		}
+	}
+}
+
+func TestBestBaechiPicksFastest(t *testing.T) {
+	g := smallRNNLM(t)
+	sys := sim.NewSystem(2, gpuMem)
+	plan, h, mk, err := BestBaechi(g, sys)
+	if err != nil {
+		t.Fatalf("BestBaechi: %v", err)
+	}
+	if mk <= 0 {
+		t.Fatal("zero makespan")
+	}
+	// Re-simulating the returned plan reproduces the reported makespan.
+	res, err := sim.Run(g, sys, plan)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if res.Makespan != mk {
+		t.Fatalf("reported %v, resimulated %v", mk, res.Makespan)
+	}
+	// And it is no worse than each individual heuristic.
+	for _, other := range []BaechiHeuristic{MTopo, METF, MSCT} {
+		p2, err := Baechi(g, sys, other)
+		if err != nil {
+			continue
+		}
+		r2, err := sim.Run(g, sys, p2)
+		if err != nil {
+			continue
+		}
+		if mk > r2.Makespan {
+			t.Fatalf("best (%v, %v) worse than %v (%v)", h, mk, other, r2.Makespan)
+		}
+	}
+}
+
+func TestSingleGPU(t *testing.T) {
+	g := smallRNNLM(t)
+	sys := sim.NewSystem(2, gpuMem)
+	plan, err := SingleGPU(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range g.Nodes() {
+		if nd.Kind == graph.KindGPU && plan.Device[nd.ID] != 1 {
+			t.Fatalf("op %d not on GPU 1", nd.ID)
+		}
+	}
+}
+
+func TestCriticalPathPlan(t *testing.T) {
+	g := smallRNNLM(t)
+	sys := sim.NewSystem(2, gpuMem)
+	base, err := SingleGPU(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := CriticalPathPlan(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Policy != sim.PolicyPriority || len(plan.Priority) != g.NumNodes() {
+		t.Fatal("priority plan malformed")
+	}
+	if _, err := sim.Run(g, sys, plan); err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+}
+
+func TestNoGPUs(t *testing.T) {
+	g := smallRNNLM(t)
+	sys := sim.NewSystem(0, 0)
+	if _, err := Expert(g, sys, ExpertLayered); !errors.Is(err, ErrNoGPUs) {
+		t.Errorf("Expert: %v", err)
+	}
+	if _, err := Baechi(g, sys, MSCT); !errors.Is(err, ErrNoGPUs) {
+		t.Errorf("Baechi: %v", err)
+	}
+	if _, err := SingleGPU(g, sys); !errors.Is(err, ErrNoGPUs) {
+		t.Errorf("SingleGPU: %v", err)
+	}
+}
+
+func TestHEFTProducesValidCompetitivePlans(t *testing.T) {
+	g := smallRNNLM(t)
+	sys := sim.NewSystem(2, gpuMem)
+	plan, err := HEFT(g, sys)
+	if err != nil {
+		t.Fatalf("HEFT: %v", err)
+	}
+	if err := plan.Validate(g, sys); err != nil {
+		t.Fatalf("invalid plan: %v", err)
+	}
+	res, err := sim.Run(g, sys, plan)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	// HEFT should beat the single-GPU default on a parallelizable grid.
+	sp, err := SingleGPU(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := sim.Run(g, sys, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan >= sr.Makespan {
+		t.Errorf("HEFT (%v) no better than single GPU (%v)", res.Makespan, sr.Makespan)
+	}
+}
+
+func TestHEFTMemoryAware(t *testing.T) {
+	g := graph.New(3)
+	var ids []graph.NodeID
+	for i := 0; i < 3; i++ {
+		ids = append(ids, g.AddNode(graph.Node{
+			Name: "big", Kind: graph.KindGPU,
+			Cost: 100 * time.Microsecond, Memory: 7 << 30, Layer: 1,
+		}))
+	}
+	_ = g.AddEdge(ids[0], ids[1], 1<<10)
+	sys := sim.NewSystem(2, gpuMem)
+	plan, err := HEFT(g, sys)
+	if err != nil {
+		t.Fatalf("HEFT: %v", err)
+	}
+	if _, err := sim.Run(g, sys, plan); err != nil {
+		t.Fatalf("HEFT placement OOMs: %v", err)
+	}
+}
+
+func TestHEFTNoGPUs(t *testing.T) {
+	g := smallRNNLM(t)
+	if _, err := HEFT(g, sim.NewSystem(0, 0)); !errors.Is(err, ErrNoGPUs) {
+		t.Fatalf("err = %v, want ErrNoGPUs", err)
+	}
+}

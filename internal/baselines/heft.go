@@ -1,0 +1,106 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pesto/internal/graph"
+	"pesto/internal/sim"
+)
+
+// HEFT computes a Heterogeneous-Earliest-Finish-Time placement
+// (Topcuoglu et al., cited by the paper in §6 as one of the ad-hoc
+// heuristics "commonly employed in different systems"). Tasks are
+// visited in decreasing upward rank (critical-path-to-sink including
+// average communication) and each is assigned to the memory-feasible
+// device minimizing its earliest finish time.
+//
+// Like Baechi, HEFT emits placement only; the framework's ready queue
+// schedules operations at runtime.
+func HEFT(g *graph.Graph, sys sim.System) (sim.Plan, error) {
+	gpus := sys.GPUs()
+	if len(gpus) == 0 {
+		return sim.Plan{}, ErrNoGPUs
+	}
+	n := g.NumNodes()
+	nodes := g.Nodes()
+	dev, _ := cpuPlacement(g, sys)
+
+	// Upward rank: rank(i) = cost(i) + max over successors of
+	// (avg comm + rank(succ)). Average comm uses the GPU-GPU model and
+	// a 1/k chance of crossing, the standard HEFT averaging.
+	order, err := g.TopoSort()
+	if err != nil {
+		return sim.Plan{}, err
+	}
+	rank := make([]float64, n)
+	crossP := 1 - 1/float64(len(gpus))
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, e := range g.Succ(v) {
+			avgComm := crossP * float64(sys.TransferTime(gpus[0], gpus[len(gpus)-1], e.Bytes))
+			if r := avgComm + rank[e.To]; r > rank[v] {
+				rank[v] = r
+			}
+		}
+		rank[v] += float64(nodes[v].Cost)
+	}
+
+	// Visit in decreasing rank; this respects precedence because a
+	// predecessor's rank strictly exceeds its successors'.
+	visit := make([]graph.NodeID, n)
+	for i := range visit {
+		visit[i] = graph.NodeID(i)
+	}
+	sort.Slice(visit, func(a, b int) bool {
+		if rank[visit[a]] != rank[visit[b]] {
+			return rank[visit[a]] > rank[visit[b]]
+		}
+		return visit[a] < visit[b]
+	})
+
+	devFree := make(map[sim.DeviceID]time.Duration, len(sys.Devices))
+	memUsed := make(map[sim.DeviceID]int64, len(sys.Devices))
+	finish := make([]time.Duration, n)
+	for _, id := range visit {
+		nd := nodes[id]
+		candidates := gpus
+		if nd.Kind != graph.KindGPU {
+			candidates = []sim.DeviceID{sys.CPUID()}
+		}
+		bestDev := sim.DeviceID(-1)
+		var bestEFT time.Duration
+		for _, d := range candidates {
+			dd, _ := sys.Device(d)
+			if dd.Memory > 0 && nd.Kind == graph.KindGPU && memUsed[d]+nd.Memory > dd.Memory {
+				continue
+			}
+			est := devFree[d]
+			for _, e := range g.Pred(id) {
+				arr := finish[e.From]
+				if dev[e.From] != d {
+					arr += sys.TransferTime(dev[e.From], d, e.Bytes)
+				}
+				if arr > est {
+					est = arr
+				}
+			}
+			eft := est + nd.Cost
+			if bestDev < 0 || eft < bestEFT {
+				bestDev, bestEFT = d, eft
+			}
+		}
+		if bestDev < 0 {
+			return sim.Plan{}, fmt.Errorf("heft: no device fits op %d: %w", id, sim.ErrOOM)
+		}
+		dev[id] = bestDev
+		finish[id] = bestEFT
+		devFree[bestDev] = bestEFT
+		if nd.Kind == graph.KindGPU {
+			memUsed[bestDev] += nd.Memory
+		}
+	}
+	applyColoc(g, dev)
+	return sim.Plan{Device: dev, Policy: sim.PolicyFIFO}, nil
+}

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallCfg keeps every experiment in the seconds range.
+func smallCfg() Config {
+	return Config{Small: true, ILPTimeLimit: 2 * time.Second, Seed: 1}
+}
+
+func TestFigure2ShapeHolds(t *testing.T) {
+	res, err := Figure2(context.Background(), smallCfg())
+	if err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	if res.Pesto <= 0 || res.NaiveScheduling <= 0 || res.NaivePlacement <= 0 {
+		t.Fatalf("missing makespans: %+v", res)
+	}
+	// Pesto must beat both naive strategies; the paper quotes 22–26%
+	// over naive, so demand at least 10% here.
+	if res.Improvement() < 0.10 {
+		t.Errorf("improvement %.1f%% below 10%%:\n%s", 100*res.Improvement(), res)
+	}
+	if res.Pesto > res.NaivePlacement {
+		t.Errorf("pesto worse than naive placement:\n%s", res)
+	}
+	if !strings.Contains(res.String(), "Figure 2") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestFigure4aLowVariability(t *testing.T) {
+	res, err := Figure4a(smallCfg())
+	if err != nil {
+		t.Fatalf("Figure4a: %v", err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 families", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.P99 > 0.25 {
+			t.Errorf("%s: p99 normalized stddev %.3f too high (Fig 4a regime)", row.Model, row.P99)
+		}
+		if row.Ops == 0 {
+			t.Errorf("%s: no ops profiled", row.Model)
+		}
+	}
+}
+
+func TestFigure4bFitQuality(t *testing.T) {
+	res, err := Figure4b(smallCfg())
+	if err != nil {
+		t.Fatalf("Figure4b: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 link types", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.R2 < 0.92 {
+			t.Errorf("%v: R²=%.3f below the paper's 0.92 floor", row.Link, row.R2)
+		}
+		if row.Beta1 <= 0 {
+			t.Errorf("%v: nonpositive slope", row.Link)
+		}
+	}
+}
+
+func TestTable1SmallOpsDominate(t *testing.T) {
+	res, err := Table1(smallCfg())
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	for _, row := range res.Rows {
+		total := row.Small + row.Medium + row.Large
+		if total == 0 || row.Small*2 < total {
+			t.Errorf("%s: small bucket %d of %d does not dominate", row.Model, row.Small, total)
+		}
+	}
+}
+
+func TestFigure5CongestionConstraintsDoNotHurt(t *testing.T) {
+	res, err := Figure5(context.Background(), smallCfg())
+	if err != nil {
+		t.Fatalf("Figure5: %v", err)
+	}
+	// With constraints must be no worse than without (small tolerance
+	// for heuristic noise on the scaled-down workload).
+	if float64(res.With) > 1.1*float64(res.Without) {
+		t.Errorf("congestion-aware plan worse:\n%s", res)
+	}
+}
+
+func TestFigure7PestoCompetitive(t *testing.T) {
+	res, err := Figure7(context.Background(), smallCfg())
+	if err != nil {
+		t.Fatalf("Figure7: %v", err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Pesto.Err != nil || row.Pesto.OOM {
+			t.Fatalf("%s: pesto failed: %+v", row.Variant, row.Pesto)
+		}
+		// Pesto should never be dramatically worse than the best
+		// alternative.
+		if row.ReductionVsBest < -0.15 {
+			t.Errorf("%s: pesto %.1f%% worse than best alternative", row.Variant, -100*row.ReductionVsBest)
+		}
+	}
+}
+
+func TestTable2PestoFasterThanReportedLearning(t *testing.T) {
+	res, err := Table2(context.Background(), smallCfg())
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	for _, row := range res.Rows {
+		if row.PestoMeasured <= 0 || row.BaechiMeasured <= 0 {
+			t.Errorf("%s: missing measured times", row.Model)
+		}
+		// Pesto placement is minutes at worst; learning-based reported
+		// times are hours to days.
+		if row.PestoMeasured > row.RNNBasedReported || row.PestoMeasured > row.PlacetoReported {
+			t.Errorf("%s: pesto (%v) slower than learning-based reported times", row.Model, row.PestoMeasured)
+		}
+	}
+}
+
+func TestTable3EffortComputed(t *testing.T) {
+	res, err := Table3(context.Background(), smallCfg())
+	if err != nil {
+		t.Fatalf("Table3: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		if row.PestoEffort <= 0 {
+			t.Errorf("%s: missing pesto effort", row.Model)
+		}
+		// With hundreds of thousands of steps, placement time is
+		// amortized: effort ≈ step-time ratio, so < 1.5 always.
+		if row.PestoEffort > 1.5 {
+			t.Errorf("%s: pesto effort %.2f implausibly high", row.Model, row.PestoEffort)
+		}
+	}
+}
+
+func TestFigure8aImprovementGrowsWithCompute(t *testing.T) {
+	res, err := Figure8a(context.Background(), smallCfg())
+	if err != nil {
+		t.Fatalf("Figure8a: %v", err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	// Faster compute shrinks makespans in absolute terms.
+	if last.Pesto >= first.Pesto {
+		t.Errorf("pesto step time did not shrink with compute speed: %v -> %v", first.Pesto, last.Pesto)
+	}
+}
+
+func TestFigure8bSlowLinksHurtExpertMore(t *testing.T) {
+	res, err := Figure8b(context.Background(), smallCfg())
+	if err != nil {
+		t.Fatalf("Figure8b: %v", err)
+	}
+	// At the slowest interconnect Pesto must be at least as good as
+	// Expert (it can colocate everything; Expert cannot adapt).
+	slowest := res.Points[0]
+	if slowest.Factor != 0.1 {
+		t.Fatalf("unexpected ordering: %+v", res.Points)
+	}
+	if !slowest.ExpertOOM && float64(slowest.Pesto) > 1.05*float64(slowest.Expert) {
+		t.Errorf("pesto (%v) worse than expert (%v) on slow interconnect", slowest.Pesto, slowest.Expert)
+	}
+}
+
+func TestCoarseningSensitivity(t *testing.T) {
+	res, err := CoarseningSensitivity(context.Background(), smallCfg(), []int{32, 64})
+	if err != nil {
+		t.Fatalf("CoarseningSensitivity: %v", err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		// Blob-weight caps can stop coarsening above the requested
+		// target; it must still land in its vicinity.
+		if p.CoarseSize > 2*p.Target {
+			t.Errorf("target %d: coarse size %d too far above target", p.Target, p.CoarseSize)
+		}
+		if p.StepTime <= 0 || p.PlacementTime <= 0 {
+			t.Errorf("target %d: missing measurements", p.Target)
+		}
+	}
+}
+
+func TestSimulatorValidationWithinPaperRange(t *testing.T) {
+	res, err := SimulatorValidation(context.Background(), smallCfg())
+	if err != nil {
+		t.Fatalf("SimulatorValidation: %v", err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	// Paper: 0.1–11.3% disagreement. Allow up to 15% here (the noise
+	// model plus tie-breaking differences).
+	if res.AverageError() > 0.15 {
+		t.Errorf("average error %.1f%% too high:\n%s", 100*res.AverageError(), res)
+	}
+}
+
+func TestExtendedBaselines(t *testing.T) {
+	res, err := ExtendedBaselines(context.Background(), smallCfg())
+	if err != nil {
+		t.Fatalf("ExtendedBaselines: %v", err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Pesto.Err != nil || row.Pesto.OOM {
+			t.Fatalf("%s: pesto failed", row.Variant)
+		}
+		// Pesto never loses badly to any implemented strategy.
+		for _, alt := range []StrategyResult{row.SingleGPU, row.Expert, row.HEFT, row.Baechi} {
+			if alt.Err == nil && !alt.OOM && alt.Makespan > 0 &&
+				float64(row.Pesto.Makespan) > 1.15*float64(alt.Makespan) {
+				t.Errorf("%s: pesto (%v) much worse than %s (%v)",
+					row.Variant, row.Pesto.Makespan, alt.Strategy, alt.Makespan)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "Extended baselines") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestMultiGPUScaling(t *testing.T) {
+	res, err := MultiGPU(context.Background(), smallCfg())
+	if err != nil {
+		t.Fatalf("MultiGPU: %v", err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(res.Points))
+	}
+	four := res.Points[2]
+	if four.GPUs != 4 {
+		t.Fatalf("unexpected ordering: %+v", res.Points)
+	}
+	// More GPUs must not make things meaningfully worse.
+	if four.Speedup < 0.9 {
+		t.Errorf("4-GPU speedup %.2fx vs 2 GPUs", four.Speedup)
+	}
+}

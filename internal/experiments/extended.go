@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pesto/internal/baselines"
+	"pesto/internal/placement"
+	"pesto/internal/sim"
+)
+
+// ExtendedRow compares one variant across every strategy implemented in
+// this repository — the paper's three (Expert, Baechi, Pesto) plus the
+// TensorFlow single-GPU default and classic HEFT (§6's "ad-hoc
+// heuristics"). Extension beyond the paper's tables.
+type ExtendedRow struct {
+	Variant   string
+	SingleGPU StrategyResult
+	Expert    StrategyResult
+	HEFT      StrategyResult
+	Baechi    StrategyResult
+	Pesto     StrategyResult
+}
+
+// ExtendedResult is the all-strategies comparison.
+type ExtendedResult struct {
+	Rows []ExtendedRow
+}
+
+func (r ExtendedResult) String() string {
+	rows := make([]string, 0, len(r.Rows))
+	fmtOne := func(s StrategyResult) string {
+		switch {
+		case s.OOM:
+			return "OOM"
+		case s.Err != nil:
+			return "err"
+		default:
+			return s.Makespan.String()
+		}
+	}
+	for _, row := range r.Rows {
+		rows = append(rows, fmt.Sprintf("%-24s single=%-12s expert=%-12s heft=%-12s baechi=%-12s pesto=%-12s",
+			row.Variant, fmtOne(row.SingleGPU), fmtOne(row.Expert), fmtOne(row.HEFT), fmtOne(row.Baechi), fmtOne(row.Pesto)))
+	}
+	return table("Extended baselines: per-step training time across all strategies", rows)
+}
+
+// ExtendedBaselines runs the five-strategy comparison across variants.
+func ExtendedBaselines(ctx context.Context, cfg Config) (ExtendedResult, error) {
+	cfg = cfg.withDefaults()
+	var out ExtendedResult
+	for _, v := range cfg.variants() {
+		g, err := v.Build()
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", v.Name, err)
+		}
+		sys := *cfg.Sys
+		row := ExtendedRow{Variant: v.Name}
+
+		sp, serr := baselines.SingleGPU(g, sys)
+		row.SingleGPU = runStrategy("SingleGPU", g, sys, sp, serr)
+		ep, eerr := baselines.Expert(g, sys, expertMode(v))
+		row.Expert = runStrategy("Expert", g, sys, ep, eerr)
+		hp, herr := baselines.HEFT(g, sys)
+		row.HEFT = runStrategy("HEFT", g, sys, hp, herr)
+		bp, _, _, berr := baselines.BestBaechi(g, sys)
+		row.Baechi = runStrategy("Baechi", g, sys, bp, berr)
+		_, row.Pesto = pesto(ctx, cfg, g)
+		if row.Pesto.Err != nil {
+			return out, fmt.Errorf("%s: %w", v.Name, row.Pesto.Err)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// MultiGPUPoint is one GPU-count measurement of the multi-GPU
+// extension.
+type MultiGPUPoint struct {
+	GPUs     int
+	Pesto    time.Duration
+	Speedup  float64 // vs the 2-GPU result
+	PlaceDur time.Duration
+}
+
+// MultiGPUResult is the scaling study for the §3.2.2 extension.
+type MultiGPUResult struct {
+	Model  string
+	Points []MultiGPUPoint
+}
+
+func (r MultiGPUResult) String() string {
+	rows := make([]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, fmt.Sprintf("gpus=%d  pesto=%-12v speedup_vs_2=%.2fx placement=%v",
+			p.GPUs, p.Pesto, p.Speedup, p.PlaceDur.Round(time.Millisecond)))
+	}
+	return table(fmt.Sprintf("Multi-GPU extension (§3.2.2) on %s", r.Model), rows)
+}
+
+// MultiGPU evaluates the k-GPU extension on the RNNLM workload for 2,
+// 3 and 4 GPUs.
+func MultiGPU(ctx context.Context, cfg Config) (MultiGPUResult, error) {
+	cfg = cfg.withDefaults()
+	v, err := rnnlmVariant(cfg)
+	if err != nil {
+		return MultiGPUResult{}, err
+	}
+	g, err := v.Build()
+	if err != nil {
+		return MultiGPUResult{}, err
+	}
+	out := MultiGPUResult{Model: v.Name}
+	var base time.Duration
+	for _, k := range []int{2, 3, 4} {
+		sys := sim.NewSystem(k, 16<<30)
+		res, err := placement.PlaceMultiGPU(ctx, g, sys, cfg.placeOpts())
+		if err != nil {
+			return out, fmt.Errorf("%d gpus: %w", k, err)
+		}
+		r, err := sim.Run(g, sys, res.Plan)
+		if err != nil {
+			return out, fmt.Errorf("%d gpus: %w", k, err)
+		}
+		if k == 2 {
+			base = r.Makespan
+		}
+		pt := MultiGPUPoint{GPUs: k, Pesto: r.Makespan, PlaceDur: res.PlacementTime}
+		if base > 0 {
+			pt.Speedup = float64(base) / float64(r.Makespan)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}

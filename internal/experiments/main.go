@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pesto/internal/baselines"
+	"pesto/internal/graph"
+	"pesto/internal/models"
+	"pesto/internal/placement"
+	"pesto/internal/sim"
+)
+
+// Figure5Result is the congestion-constraint ablation on the RNNLM
+// model (the paper's Figure 5: disabling congestion constraints bunches
+// transfers on one link and inflates the makespan ~3×).
+type Figure5Result struct {
+	Model            string
+	With, Without    time.Duration
+	WithQueue        time.Duration // total queueing delay across transfers
+	WithoutQueue     time.Duration
+	WithTransfers    int
+	WithoutTransfers int
+}
+
+// Inflation is makespan(without)/makespan(with).
+func (r Figure5Result) Inflation() float64 {
+	if r.With <= 0 {
+		return 0
+	}
+	return float64(r.Without) / float64(r.With)
+}
+
+func (r Figure5Result) String() string {
+	return table(fmt.Sprintf("Figure 5: congestion constraints on %s", r.Model), []string{
+		fmt.Sprintf("with congestion constraints     makespan=%-12v transfers=%-4d queueing=%v",
+			r.With, r.WithTransfers, r.WithQueue),
+		fmt.Sprintf("without congestion constraints  makespan=%-12v transfers=%-4d queueing=%v",
+			r.Without, r.WithoutTransfers, r.WithoutQueue),
+		fmt.Sprintf("makespan inflation without constraints: %.2fx", r.Inflation()),
+	})
+}
+
+// Figure5 plans the RNNLM workload with and without congestion
+// modelling and realizes both plans on the true FCFS-link system. With
+// DisableCongestion the whole planner (ILP constraint group (7) and the
+// simulator-guided heuristics alike) believes links are infinitely
+// parallel — the assumption the paper calls out in most prior DAG
+// schedulers — so its plan bunches transfers that then serialize at
+// execution time.
+func Figure5(ctx context.Context, cfg Config) (Figure5Result, error) {
+	cfg = cfg.withDefaults()
+	g, name, err := figure5Workload(cfg)
+	if err != nil {
+		return Figure5Result{}, err
+	}
+	out := Figure5Result{Model: name}
+
+	opts := cfg.placeOpts()
+	with, err := placement.Place(ctx, g, *cfg.Sys, opts)
+	if err != nil {
+		return out, fmt.Errorf("with congestion: %w", err)
+	}
+	opts.DisableCongestion = true
+	without, err := placement.Place(ctx, g, *cfg.Sys, opts)
+	if err != nil {
+		return out, fmt.Errorf("without congestion: %w", err)
+	}
+	rw, err := sim.Run(g, *cfg.Sys, with.Plan)
+	if err != nil {
+		return out, err
+	}
+	rwo, err := sim.Run(g, *cfg.Sys, without.Plan)
+	if err != nil {
+		return out, err
+	}
+	out.With, out.Without = rw.Makespan, rwo.Makespan
+	out.WithTransfers, out.WithoutTransfers = len(rw.Transfers), len(rwo.Transfers)
+	for _, t := range rw.Transfers {
+		out.WithQueue += t.Queued()
+	}
+	for _, t := range rwo.Transfers {
+		out.WithoutQueue += t.Queued()
+	}
+	return out, nil
+}
+
+// figure5Workload builds the congestion-study graph.
+func figure5Workload(cfg Config) (*graph.Graph, string, error) {
+	name := "RNNLM-2-2048"
+	if cfg.Small {
+		name = "RNNLM-small"
+	}
+	v, err := models.FindVariant(name)
+	if err != nil {
+		return nil, "", err
+	}
+	g, err := v.Build()
+	return g, name, err
+}
+
+func rnnlmVariant(cfg Config) (models.Variant, error) {
+	name := "RNNLM-2-2048"
+	if cfg.Small {
+		name = "RNNLM-small"
+	}
+	return models.FindVariant(name)
+}
+
+// Figure7Row is the per-step training time of one variant under the
+// three strategies.
+type Figure7Row struct {
+	Variant        string
+	Expert         StrategyResult
+	Baechi         StrategyResult
+	BaechiMethod   baselines.BaechiHeuristic
+	Pesto          StrategyResult
+	PestoPlaceTime time.Duration
+	// ReductionVsBest is Pesto's relative reduction vs the best
+	// feasible alternative (the number printed above Figure 7's bars).
+	ReductionVsBest float64
+}
+
+// Figure7Result is the headline evaluation.
+type Figure7Result struct {
+	Rows []Figure7Row
+}
+
+// AverageReduction is Pesto's mean reduction vs the best alternative
+// across variants where at least one alternative is feasible (paper:
+// ~14% on average).
+func (r Figure7Result) AverageReduction() float64 {
+	sum, n := 0.0, 0
+	for _, row := range r.Rows {
+		if row.Pesto.Err == nil && !row.Pesto.OOM && (row.Expert.Makespan > 0 || row.Baechi.Makespan > 0) {
+			sum += row.ReductionVsBest
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func (r Figure7Result) String() string {
+	rows := make([]string, 0, len(r.Rows)+1)
+	for _, row := range r.Rows {
+		exp := "OOM"
+		if !row.Expert.OOM && row.Expert.Err == nil {
+			exp = row.Expert.Makespan.String()
+		}
+		bch := "OOM"
+		if !row.Baechi.OOM && row.Baechi.Err == nil {
+			bch = fmt.Sprintf("%v (%v)", row.Baechi.Makespan, row.BaechiMethod)
+		}
+		rows = append(rows, fmt.Sprintf("%-24s expert=%-12s baechi=%-22s pesto=%-12v reduction=%+.1f%%",
+			row.Variant, exp, bch, row.Pesto.Makespan, 100*row.ReductionVsBest))
+	}
+	rows = append(rows, fmt.Sprintf("average reduction vs best alternative: %.1f%%", 100*r.AverageReduction()))
+	return table("Figure 7: per-step training time", rows)
+}
+
+// Figure7 runs the headline comparison across all variants.
+func Figure7(ctx context.Context, cfg Config) (Figure7Result, error) {
+	cfg = cfg.withDefaults()
+	var out Figure7Result
+	for _, v := range cfg.variants() {
+		row, err := figure7Row(ctx, cfg, v)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", v.Name, err)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func figure7Row(ctx context.Context, cfg Config, v models.Variant) (Figure7Row, error) {
+	g, err := v.Build()
+	if err != nil {
+		return Figure7Row{}, err
+	}
+	sys := *cfg.Sys
+	row := Figure7Row{Variant: v.Name}
+
+	eplan, eerr := baselines.Expert(g, sys, expertMode(v))
+	row.Expert = runStrategy("Expert", g, sys, eplan, eerr)
+
+	bplan, bh, _, berr := baselines.BestBaechi(g, sys)
+	row.BaechiMethod = bh
+	row.Baechi = runStrategy("Baechi", g, sys, bplan, berr)
+
+	pres, pr := pesto(ctx, cfg, g)
+	row.Pesto = pr
+	if pres != nil {
+		row.PestoPlaceTime = pres.PlacementTime
+	}
+	if pr.Err != nil {
+		return row, pr.Err
+	}
+
+	best := time.Duration(0)
+	for _, alt := range []StrategyResult{row.Expert, row.Baechi} {
+		if alt.Err == nil && !alt.OOM && alt.Makespan > 0 && (best == 0 || alt.Makespan < best) {
+			best = alt.Makespan
+		}
+	}
+	if best > 0 {
+		row.ReductionVsBest = 1 - float64(pr.Makespan)/float64(best)
+	}
+	return row, nil
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"pesto/internal/models"
+	"pesto/internal/placement"
+	"pesto/internal/runtime"
+	"pesto/internal/sim"
+)
+
+// SweepPoint is one x-axis point of a Figure 8 sweep.
+type SweepPoint struct {
+	Factor      float64
+	Expert      time.Duration
+	Pesto       time.Duration
+	ExpertOOM   bool
+	Improvement float64 // Pesto's reduction over Expert
+}
+
+// Figure8aResult sweeps compute speed (paper: Pesto's advantage grows
+// with faster compute because communication becomes the bottleneck).
+type Figure8aResult struct {
+	Model  string
+	Points []SweepPoint
+}
+
+func (r Figure8aResult) String() string {
+	rows := make([]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, fmt.Sprintf("compute %4.1fx  expert=%-12v pesto=%-12v improvement=%+5.1f%%",
+			p.Factor, p.Expert, p.Pesto, 100*p.Improvement))
+	}
+	return table(fmt.Sprintf("Figure 8a: compute-speed sweep on %s", r.Model), rows)
+}
+
+// Figure8a evaluates Expert and Pesto at scaled compute speeds.
+func Figure8a(ctx context.Context, cfg Config) (Figure8aResult, error) {
+	cfg = cfg.withDefaults()
+	v, err := nmtVariant(cfg)
+	if err != nil {
+		return Figure8aResult{}, err
+	}
+	out := Figure8aResult{Model: v.Name}
+	for _, f := range []float64{1, 2, 4, 8} {
+		sys := cfg.Sys.WithComputeSpeed(f)
+		e, p, err := strategyOnSystem(ctx, cfg, v, sys)
+		if err != nil {
+			return out, fmt.Errorf("factor %g: %w", f, err)
+		}
+		pt := SweepPoint{Factor: f, Expert: e, Pesto: p, ExpertOOM: e == 0}
+		if e > 0 {
+			pt.Improvement = 1 - float64(p)/float64(e)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// Figure8bResult sweeps interconnect speed on the NMT model (paper:
+// Pesto adapts its placement; Expert is oblivious and suffers on slow
+// links).
+type Figure8bResult struct {
+	Model  string
+	Points []SweepPoint
+}
+
+func (r Figure8bResult) String() string {
+	rows := make([]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, fmt.Sprintf("interconnect %5.2fx  expert=%-12v pesto=%-12v improvement=%+5.1f%%",
+			p.Factor, p.Expert, p.Pesto, 100*p.Improvement))
+	}
+	return table(fmt.Sprintf("Figure 8b: interconnect-speed sweep on %s", r.Model), rows)
+}
+
+// Figure8b evaluates Expert and Pesto at scaled interconnect speeds
+// (0.1× is PCIe-class, 1× is the NVLink baseline).
+func Figure8b(ctx context.Context, cfg Config) (Figure8bResult, error) {
+	cfg = cfg.withDefaults()
+	v, err := nmtVariant(cfg)
+	if err != nil {
+		return Figure8bResult{}, err
+	}
+	out := Figure8bResult{Model: v.Name}
+	for _, f := range []float64{0.1, 0.25, 0.5, 1, 2} {
+		sys := cfg.Sys.WithCommSpeed(f)
+		e, p, err := strategyOnSystem(ctx, cfg, v, sys)
+		if err != nil {
+			return out, fmt.Errorf("factor %g: %w", f, err)
+		}
+		pt := SweepPoint{Factor: f, Expert: e, Pesto: p, ExpertOOM: e == 0}
+		if e > 0 {
+			pt.Improvement = 1 - float64(p)/float64(e)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+func nmtVariant(cfg Config) (models.Variant, error) {
+	name := "NMT-2-1024"
+	if cfg.Small {
+		name = "NMT-small"
+	}
+	return models.FindVariant(name)
+}
+
+// CoarsenPoint is one coarsening-target measurement (§5.3's 200/240/280
+// study, scaled to this repository's branch-and-bound budget).
+type CoarsenPoint struct {
+	Target        int
+	CoarseSize    int
+	PlacementTime time.Duration
+	StepTime      time.Duration
+	Gap           float64
+}
+
+// CoarseningResult is the §5.3 sensitivity study.
+type CoarseningResult struct {
+	Model  string
+	Points []CoarsenPoint
+}
+
+func (r CoarseningResult) String() string {
+	rows := make([]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, fmt.Sprintf("target=%-4d coarse=%-4d placement=%-12v step=%-12v gap=%.3f",
+			p.Target, p.CoarseSize, p.PlacementTime.Round(time.Millisecond), p.StepTime, p.Gap))
+	}
+	return table(fmt.Sprintf("§5.3 coarsening sensitivity on %s", r.Model), rows)
+}
+
+// CoarseningSensitivity measures placement time and step time across
+// coarsening targets.
+func CoarseningSensitivity(ctx context.Context, cfg Config, targets []int) (CoarseningResult, error) {
+	cfg = cfg.withDefaults()
+	v, err := rnnlmVariant(cfg)
+	if err != nil {
+		return CoarseningResult{}, err
+	}
+	g, err := v.Build()
+	if err != nil {
+		return CoarseningResult{}, err
+	}
+	if len(targets) == 0 {
+		targets = []int{32, 64, 96, 128}
+	}
+	out := CoarseningResult{Model: v.Name}
+	for _, target := range targets {
+		opts := cfg.placeOpts()
+		opts.CoarsenTarget = target
+		res, err := placement.Place(ctx, g, *cfg.Sys, opts)
+		if err != nil {
+			return out, fmt.Errorf("target %d: %w", target, err)
+		}
+		sr, err := sim.Run(g, *cfg.Sys, res.Plan)
+		if err != nil {
+			return out, fmt.Errorf("target %d: %w", target, err)
+		}
+		out.Points = append(out.Points, CoarsenPoint{
+			Target: target, CoarseSize: res.CoarseSize,
+			PlacementTime: res.PlacementTime, StepTime: sr.Makespan, Gap: res.Gap,
+		})
+	}
+	return out, nil
+}
+
+// ValidationRow compares simulator and runtime-executor makespans for
+// one variant (§5.4: the paper reports 0.1–11.3% disagreement, ~5%
+// average).
+type ValidationRow struct {
+	Model         string
+	Simulator     time.Duration
+	Runtime       time.Duration
+	RelativeError float64
+}
+
+// ValidationResult is the simulator-validation study.
+type ValidationResult struct {
+	Rows []ValidationRow
+}
+
+// AverageError is the mean |relative error|.
+func (r ValidationResult) AverageError() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, row := range r.Rows {
+		sum += math.Abs(row.RelativeError)
+	}
+	return sum / float64(len(r.Rows))
+}
+
+func (r ValidationResult) String() string {
+	rows := make([]string, 0, len(r.Rows)+1)
+	for _, row := range r.Rows {
+		rows = append(rows, fmt.Sprintf("%-24s sim=%-12v runtime=%-12v error=%.2f%%",
+			row.Model, row.Simulator, row.Runtime, 100*row.RelativeError))
+	}
+	rows = append(rows, fmt.Sprintf("average |error|: %.2f%% (paper: 0.1–11.3%%, avg ~5%%)", 100*r.AverageError()))
+	return table("§5.4 simulator validation (simulator vs runtime executor)", rows)
+}
+
+// SimulatorValidation runs each variant's Pesto plan through both the
+// discrete-event simulator and the goroutine runtime (with per-op
+// noise) and reports the disagreement.
+func SimulatorValidation(ctx context.Context, cfg Config) (ValidationResult, error) {
+	cfg = cfg.withDefaults()
+	var out ValidationResult
+	for _, v := range cfg.variants() {
+		g, err := v.Build()
+		if err != nil {
+			return out, err
+		}
+		res, err := placement.Place(ctx, g, *cfg.Sys, cfg.placeOpts())
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", v.Name, err)
+		}
+		sr, err := sim.Run(g, *cfg.Sys, res.Plan)
+		if err != nil {
+			return out, fmt.Errorf("%s: simulate: %w", v.Name, err)
+		}
+		rr, err := runtime.Execute(g, *cfg.Sys, res.Plan, runtime.Options{
+			NoiseSigma: 0.03, Seed: cfg.Seed, Iteration: 1,
+		})
+		if err != nil {
+			return out, fmt.Errorf("%s: runtime: %w", v.Name, err)
+		}
+		out.Rows = append(out.Rows, ValidationRow{
+			Model: v.Name, Simulator: sr.Makespan, Runtime: rr.Makespan,
+			RelativeError: float64(rr.Makespan-sr.Makespan) / float64(sr.Makespan),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,30 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, one node per
+// operation labeled with name, kind and cost, for debugging and for the
+// examples' visual output.
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", title)
+	for _, n := range g.nodes {
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n%s %s\"];\n", n.ID, escape(n.Name), n.Kind, n.Cost)
+	}
+	for _, es := range g.succ {
+		for _, e := range es {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%dB\"];\n", e.From, e.To, e.Bytes)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	return strings.NewReplacer(`"`, `\"`, "\n", `\n`).Replace(s)
+}

@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzGraphJSON ensures arbitrary bytes never panic the decoder and
+// that anything it accepts is a valid DAG that round-trips.
+func FuzzGraphJSON(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"nodes":[],"edges":[]}`,
+		`{"nodes":[{"id":0,"name":"a","kind":2,"costNanos":100}],"edges":[]}`,
+		`{"nodes":[{"id":0},{"id":1}],"edges":[{"from":0,"to":1,"bytes":7}]}`,
+		`{"nodes":[{"id":0},{"id":1}],"edges":[{"from":1,"to":0,"bytes":7},{"from":0,"to":1,"bytes":1}]}`,
+		`{"nodes":[{"id":5}],"edges":[]}`,
+		`[1,2,3]`,
+		`{"nodes":[{"id":0,"costNanos":-5}],"edges":[]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return // rejected input is fine
+		}
+		// Accepted input must be a coherent DAG.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+		out, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		var back Graph
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed structure")
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// jsonNode is the serialized form of a Node. Durations are nanoseconds
+// and all fields carry explicit tags: the serialized graph is a
+// contract (plans reference nodes by ID).
+type jsonNode struct {
+	ID     int    `json:"id"`
+	Name   string `json:"name"`
+	Kind   int    `json:"kind"`
+	CostNs int64  `json:"costNanos"`
+	Memory int64  `json:"memoryBytes"`
+	Coloc  string `json:"coloc,omitempty"`
+	Layer  int    `json:"layer"`
+	Branch int    `json:"branch,omitempty"`
+}
+
+type jsonEdge struct {
+	From  int   `json:"from"`
+	To    int   `json:"to"`
+	Bytes int64 `json:"bytes"`
+}
+
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+// MarshalJSON serializes the graph with stable node IDs.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	out := jsonGraph{
+		Nodes: make([]jsonNode, 0, g.NumNodes()),
+		Edges: make([]jsonEdge, 0, g.NumEdges()),
+	}
+	for _, n := range g.nodes {
+		out.Nodes = append(out.Nodes, jsonNode{
+			ID: int(n.ID), Name: n.Name, Kind: int(n.Kind),
+			CostNs: n.Cost.Nanoseconds(), Memory: n.Memory,
+			Coloc: n.Coloc, Layer: n.Layer, Branch: n.Branch,
+		})
+	}
+	for _, e := range g.Edges() {
+		out.Edges = append(out.Edges, jsonEdge{From: int(e.From), To: int(e.To), Bytes: e.Bytes})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON replaces the receiver's contents with the serialized
+// graph, validating IDs, edges and acyclicity.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var in jsonGraph
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("decode graph: %w", err)
+	}
+	fresh := New(len(in.Nodes))
+	for i, n := range in.Nodes {
+		if n.ID != i {
+			return fmt.Errorf("decode graph: node %d has id %d (ids must be dense and ordered)", i, n.ID)
+		}
+		fresh.AddNode(Node{
+			Name: n.Name, Kind: OpKind(n.Kind),
+			Cost: time.Duration(n.CostNs), Memory: n.Memory,
+			Coloc: n.Coloc, Layer: n.Layer, Branch: n.Branch,
+		})
+	}
+	for _, e := range in.Edges {
+		if err := fresh.AddEdge(NodeID(e.From), NodeID(e.To), e.Bytes); err != nil {
+			return fmt.Errorf("decode graph: %w", err)
+		}
+	}
+	if err := fresh.Validate(); err != nil {
+		return fmt.Errorf("decode graph: %w", err)
+	}
+	*g = *fresh
+	return nil
+}
+
+// WriteJSON writes the graph to w.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	data, err := g.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadJSON parses a graph from r.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	g := New(0)
+	if err := g.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

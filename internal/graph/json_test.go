@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g, _ := diamond(t)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(g.Nodes(), back.Nodes()) {
+		t.Fatalf("nodes differ:\n%v\n%v", g.Nodes(), back.Nodes())
+	}
+	if !reflect.DeepEqual(g.Edges(), back.Edges()) {
+		t.Fatalf("edges differ")
+	}
+}
+
+func TestJSONReadWriteHelpers(t *testing.T) {
+	g, _ := diamond(t)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip lost structure")
+	}
+}
+
+func TestJSONRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{`, // syntax
+		`{"nodes":[{"id":1,"name":"a"}],"edges":[]}`,                                                      // non-dense ids
+		`{"nodes":[{"id":0,"name":"a"}],"edges":[{"from":0,"to":5,"bytes":1}]}`,                           // bad edge
+		`{"nodes":[{"id":0},{"id":1}],"edges":[{"from":0,"to":1,"bytes":1},{"from":1,"to":0,"bytes":1}]}`, // cycle
+	}
+	for i, c := range cases {
+		var g Graph
+		if err := json.Unmarshal([]byte(c), &g); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestJSONFieldTagsStable(t *testing.T) {
+	g := New(1)
+	g.AddNode(Node{Name: "op", Kind: KindGPU, Cost: time.Microsecond, Memory: 7, Coloc: "grp", Layer: 3, Branch: 2})
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"costNanos":1000`, `"memoryBytes":7`, `"coloc":"grp"`, `"layer":3`, `"branch":2`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("serialized graph missing %s: %s", key, data)
+		}
+	}
+}
+
+func TestPropertyJSONRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(40), 60)
+		data, err := json.Marshal(g)
+		if err != nil {
+			return false
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(g.Nodes(), back.Nodes()) &&
+			reflect.DeepEqual(g.Edges(), back.Edges())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

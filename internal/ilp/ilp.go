@@ -1,0 +1,366 @@
+// Package ilp implements a 0-1 mixed-integer linear program solver by
+// branch and bound over LP relaxations solved with internal/lp. Together
+// with internal/lp it is this repository's substitute for the CPLEX
+// dependency of the Pesto paper.
+//
+// The solver searches depth-first with best-bound plunging, branches on
+// the most fractional binary variable, and accepts incumbents both from
+// integral LP relaxations and from an optional caller-supplied rounding
+// heuristic (Pesto's placement layer supplies one that list-schedules a
+// rounded placement, which is what keeps large instances productive when
+// the time budget truncates the exact search). Solutions report the
+// remaining optimality gap, so callers can distinguish proven-optimal
+// results (the Theorem 3.1 regime) from budget-limited ones.
+package ilp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"pesto/internal/lp"
+)
+
+// Problem is a 0-1 MILP: an LP plus a set of variables restricted to
+// {0, 1}.
+type Problem struct {
+	// LP is the relaxation. Binary variables must have bounds within
+	// [0, 1].
+	LP *lp.Problem
+	// Binary lists the indices of 0-1 variables.
+	Binary []int
+}
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// TimeLimit bounds the wall-clock search time; zero means 30s.
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of explored B&B nodes; zero means
+	// 200000.
+	MaxNodes int
+	// GapTolerance stops the search once the relative gap between the
+	// incumbent and the best bound falls below it; zero means 1e-6.
+	GapTolerance float64
+	// Incumbent, when non-nil, is invoked with each LP relaxation
+	// solution. It may return a feasible point for the full problem
+	// and its objective; the solver keeps it if it improves the
+	// incumbent. This hook lets domain code contribute rounding
+	// heuristics without the solver knowing the problem structure.
+	Incumbent func(relaxed []float64) (x []float64, obj float64, ok bool)
+}
+
+func (o Options) withDefaults() Options {
+	if o.TimeLimit <= 0 {
+		o.TimeLimit = 30 * time.Second
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 200000
+	}
+	if o.GapTolerance <= 0 {
+		o.GapTolerance = 1e-6
+	}
+	return o
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// OptimalStatus means the incumbent was proven optimal.
+	OptimalStatus Status = iota + 1
+	// FeasibleStatus means a feasible incumbent was found, but the
+	// search stopped (time, node limit, context) before proving
+	// optimality.
+	FeasibleStatus
+	// InfeasibleStatus means the problem has no feasible solution.
+	InfeasibleStatus
+	// NoSolutionStatus means the search stopped before finding any
+	// feasible solution.
+	NoSolutionStatus
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case OptimalStatus:
+		return "optimal"
+	case FeasibleStatus:
+		return "feasible"
+	case InfeasibleStatus:
+		return "infeasible"
+	case NoSolutionStatus:
+		return "no-solution"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Bound is the best proven lower bound on the optimum.
+	Bound float64
+	// Gap is (Objective-Bound)/max(|Objective|,1), zero when optimal.
+	Gap float64
+	// Nodes is the number of explored branch-and-bound nodes.
+	Nodes int
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+}
+
+// ErrInfeasible is wrapped by Solve when the problem admits no feasible
+// solution.
+var ErrInfeasible = errors.New("integer infeasible")
+
+const intTol = 1e-6
+
+type node struct {
+	fixes map[int]float64 // binary var -> 0 or 1
+	bound float64         // parent LP bound (priority)
+	depth int
+}
+
+// Solve runs branch and bound and returns the best solution found. The
+// context cancels the search early (the best incumbent so far is still
+// returned with FeasibleStatus).
+func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	deadline := start.Add(opts.TimeLimit)
+
+	isBinary := make(map[int]bool, len(p.Binary))
+	for _, v := range p.Binary {
+		isBinary[v] = true
+		lo, hi := p.LP.Bounds(v)
+		if lo < 0 || hi > 1 {
+			return Solution{}, fmt.Errorf("binary var %d has bounds [%g,%g] outside [0,1]", v, lo, hi)
+		}
+	}
+
+	best := Solution{Status: NoSolutionStatus, Objective: math.Inf(1), Bound: math.Inf(-1)}
+	lpStalled := false
+	// open is kept sorted by bound descending so we can pop the
+	// best-bound node from the tail cheaply.
+	open := []node{{fixes: map[int]float64{}, bound: math.Inf(-1)}}
+	rootSolved := false
+	rootBound := math.Inf(-1)
+
+	for len(open) > 0 {
+		if ctx.Err() != nil || time.Now().After(deadline) || best.Nodes >= opts.MaxNodes {
+			break
+		}
+		// Pop the best-bound node — except while no incumbent exists,
+		// where diving (deepest node first) reaches integral leaves
+		// fastest.
+		if best.Status == NoSolutionStatus {
+			sort.Slice(open, func(i, j int) bool { return open[i].depth < open[j].depth })
+		} else {
+			sort.Slice(open, func(i, j int) bool { return open[i].bound > open[j].bound })
+		}
+		nd := open[len(open)-1]
+		open = open[:len(open)-1]
+
+		// Prune against incumbent.
+		if nd.bound > best.Objective-opts.GapTolerance*math.Max(math.Abs(best.Objective), 1) && rootSolved && !math.IsInf(nd.bound, -1) && best.Status != NoSolutionStatus {
+			continue
+		}
+
+		sub := p.LP.Clone()
+		for v, val := range nd.fixes {
+			if err := sub.SetBounds(v, val, val); err != nil {
+				return best, fmt.Errorf("apply branch fix: %w", err)
+			}
+		}
+		rel, err := lp.SolveDeadline(sub, deadline)
+		best.Nodes++
+		if err != nil {
+			if errors.Is(err, lp.ErrNoSolution) {
+				if rel.Status == lp.IterLimit {
+					// The LP stalled; we cannot conclude anything
+					// about this subtree — drop it without calling it
+					// infeasible.
+					lpStalled = true
+					rootSolved = true
+					continue
+				}
+				if !rootSolved && rel.Status == lp.Infeasible {
+					best.Status = InfeasibleStatus
+					best.Elapsed = time.Since(start)
+					return best, fmt.Errorf("root relaxation: %w", ErrInfeasible)
+				}
+				rootSolved = true
+				continue // prune infeasible subtree
+			}
+			return best, fmt.Errorf("lp solve: %w", err)
+		}
+		if !rootSolved {
+			rootSolved = true
+			rootBound = rel.Objective
+		}
+		// Bound-based pruning.
+		if best.Status != NoSolutionStatus && rel.Objective >= best.Objective-opts.GapTolerance*math.Max(math.Abs(best.Objective), 1) {
+			continue
+		}
+		// Offer the relaxation to the caller's heuristic.
+		if opts.Incumbent != nil {
+			if hx, hobj, ok := opts.Incumbent(rel.X); ok && hobj < best.Objective {
+				best.X = append([]float64(nil), hx...)
+				best.Objective = hobj
+				best.Status = FeasibleStatus
+			}
+		}
+		// Rounding dive: a built-in primal heuristic that fixes
+		// near-integral binaries in bulk and re-solves until an
+		// integral point falls out. Run at the root and periodically,
+		// and always while no incumbent exists.
+		if best.Nodes == 1 || best.Status == NoSolutionStatus || best.Nodes%16 == 0 {
+			if dx, dobj, ok := dive(p, nd.fixes, rel.X, deadline); ok && dobj < best.Objective {
+				best.X = dx
+				best.Objective = dobj
+				best.Status = FeasibleStatus
+			}
+		}
+		// Find most fractional binary.
+		branchVar, frac := -1, 0.0
+		for _, v := range p.Binary {
+			f := rel.X[v] - math.Floor(rel.X[v])
+			d := math.Min(f, 1-f)
+			if d > intTol && d > frac {
+				frac = d
+				branchVar = v
+			}
+		}
+		if branchVar < 0 {
+			// Integral: candidate incumbent.
+			if rel.Objective < best.Objective {
+				best.X = append([]float64(nil), rel.X...)
+				best.Objective = rel.Objective
+				best.Status = FeasibleStatus
+			}
+			continue
+		}
+		for _, val := range [2]float64{roundDir(rel.X[branchVar]), 1 - roundDir(rel.X[branchVar])} {
+			fixes := make(map[int]float64, len(nd.fixes)+1)
+			for k, v := range nd.fixes {
+				fixes[k] = v
+			}
+			fixes[branchVar] = val
+			open = append(open, node{fixes: fixes, bound: rel.Objective, depth: nd.depth + 1})
+		}
+	}
+
+	best.Elapsed = time.Since(start)
+	// Compute the final bound: the minimum over remaining open nodes
+	// and the root bound.
+	bound := math.Inf(1)
+	for _, nd := range open {
+		if nd.bound < bound {
+			bound = nd.bound
+		}
+	}
+	if len(open) == 0 {
+		// Search exhausted: the incumbent is optimal (or none exists).
+		bound = best.Objective
+	}
+	if math.IsInf(bound, 1) || (rootSolved && bound < rootBound) {
+		bound = rootBound
+	}
+	best.Bound = bound
+
+	switch {
+	case best.Status == InfeasibleStatus:
+		return best, ErrInfeasible
+	case best.Status == NoSolutionStatus && len(open) == 0 && rootSolved && !lpStalled:
+		best.Status = InfeasibleStatus
+		return best, ErrInfeasible
+	case best.Status == NoSolutionStatus:
+		return best, nil
+	}
+	best.Gap = math.Max(0, (best.Objective-best.Bound)/math.Max(math.Abs(best.Objective), 1))
+	if len(open) == 0 || best.Gap <= opts.GapTolerance {
+		best.Status = OptimalStatus
+		best.Gap = 0
+	}
+	return best, nil
+}
+
+// roundDir picks the branch direction closest to the fractional value so
+// the first child explored is the "dive" child.
+func roundDir(x float64) float64 {
+	if x >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// dive is the rounding-dive primal heuristic: starting from a node's
+// fixes and its relaxation, repeatedly fix every near-integral binary
+// (and the least fractional quarter of the rest) to its rounded value
+// and re-solve, until the relaxation is integral or infeasible. Returns
+// an integral feasible point when one falls out.
+func dive(p Problem, baseFixes map[int]float64, relaxed []float64, deadline time.Time) ([]float64, float64, bool) {
+	fixes := make(map[int]float64, len(p.Binary))
+	for k, v := range baseFixes {
+		fixes[k] = v
+	}
+	x := relaxed
+	for round := 0; round <= len(p.Binary); round++ {
+		if time.Now().After(deadline) {
+			return nil, 0, false
+		}
+		// Partition the unfixed binaries by fractionality.
+		type frac struct {
+			v int
+			d float64
+		}
+		var fractional []frac
+		for _, v := range p.Binary {
+			if _, done := fixes[v]; done {
+				continue
+			}
+			f := x[v] - math.Floor(x[v])
+			d := math.Min(f, 1-f)
+			if d <= intTol {
+				fixes[v] = math.Round(x[v])
+				continue
+			}
+			fractional = append(fractional, frac{v, d})
+		}
+		sub := p.LP.Clone()
+		for v, val := range fixes {
+			if sub.SetBounds(v, val, val) != nil {
+				return nil, 0, false
+			}
+		}
+		if len(fractional) == 0 {
+			// Integral: one final solve with everything fixed yields
+			// the continuous completion.
+			sol, err := lp.SolveDeadline(sub, deadline)
+			if err != nil {
+				return nil, 0, false
+			}
+			return sol.X, sol.Objective, true
+		}
+		// Fix the least fractional variables first (a quarter of the
+		// remainder per round) so a dive needs O(log n) re-solves.
+		sort.Slice(fractional, func(i, j int) bool { return fractional[i].d < fractional[j].d })
+		bulk := len(fractional)/4 + 1
+		for i := 0; i < bulk; i++ {
+			fixes[fractional[i].v] = math.Round(x[fractional[i].v])
+			if sub.SetBounds(fractional[i].v, math.Round(x[fractional[i].v]), math.Round(x[fractional[i].v])) != nil {
+				return nil, 0, false
+			}
+		}
+		sol, err := lp.SolveDeadline(sub, deadline)
+		if err != nil {
+			return nil, 0, false // dead end
+		}
+		x = sol.X
+	}
+	return nil, 0, false
+}

@@ -1,0 +1,239 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs. It is the substrate underneath internal/ilp, which
+// together replace the CPLEX dependency of the Pesto paper (§3.2.2 "by
+// solving this 0-1 integer programming using standard optimization
+// software like CPLEX").
+//
+// The solver handles minimization problems over variables with finite
+// lower bounds and optional upper bounds, with ≤, ≥ and = constraints.
+// It is intentionally simple and robust rather than state of the art:
+// full-tableau simplex with Dantzig pricing and a Bland's-rule fallback
+// for anti-cycling. Problem sizes produced by Pesto's coarsened ILPs
+// (hundreds of rows and columns) are well within its reach.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Rel is the relation of a linear constraint.
+type Rel int
+
+const (
+	// LE is a ≤ constraint.
+	LE Rel = iota + 1
+	// GE is a ≥ constraint.
+	GE
+	// EQ is an = constraint.
+	EQ
+)
+
+// String implements fmt.Stringer.
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Rel(%d)", int(r))
+	}
+}
+
+// Term is one coefficient of a sparse constraint row: Coef * x[Var].
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is a sparse linear constraint sum(Terms) Rel RHS.
+type Constraint struct {
+	Terms []Term
+	Rel   Rel
+	RHS   float64
+}
+
+// Problem is a linear program: minimize c·x subject to constraints and
+// variable bounds. Construct with NewProblem, then AddConstraint.
+type Problem struct {
+	numVars int
+	obj     []float64
+	lower   []float64
+	upper   []float64 // math.Inf(1) when unbounded above
+	cons    []Constraint
+}
+
+// NewProblem creates a problem with n variables, zero objective, lower
+// bounds of 0 and no upper bounds.
+func NewProblem(n int) *Problem {
+	p := &Problem{
+		numVars: n,
+		obj:     make([]float64, n),
+		lower:   make([]float64, n),
+		upper:   make([]float64, n),
+	}
+	for i := range p.upper {
+		p.upper[i] = math.Inf(1)
+	}
+	return p
+}
+
+// NumVars reports the number of structural variables.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// NumConstraints reports the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// SetObjective sets the coefficient of variable v in the minimization
+// objective.
+func (p *Problem) SetObjective(v int, c float64) error {
+	if v < 0 || v >= p.numVars {
+		return fmt.Errorf("objective var %d out of range", v)
+	}
+	p.obj[v] = c
+	return nil
+}
+
+// SetBounds sets lower and upper bounds of variable v. Use
+// math.Inf(1) for an unbounded upper limit.
+func (p *Problem) SetBounds(v int, lo, hi float64) error {
+	if v < 0 || v >= p.numVars {
+		return fmt.Errorf("bounds var %d out of range", v)
+	}
+	if lo > hi {
+		return fmt.Errorf("bounds var %d: lower %g > upper %g", v, lo, hi)
+	}
+	p.lower[v] = lo
+	p.upper[v] = hi
+	return nil
+}
+
+// Bounds returns the bounds of variable v.
+func (p *Problem) Bounds(v int) (lo, hi float64) { return p.lower[v], p.upper[v] }
+
+// AddConstraint appends a constraint. Terms referencing out-of-range
+// variables are rejected.
+func (p *Problem) AddConstraint(c Constraint) error {
+	for _, t := range c.Terms {
+		if t.Var < 0 || t.Var >= p.numVars {
+			return fmt.Errorf("constraint var %d out of range", t.Var)
+		}
+	}
+	p.cons = append(p.cons, c)
+	return nil
+}
+
+// Clone returns a deep copy; the branch-and-bound layer clones the root
+// problem to apply branching bounds.
+func (p *Problem) Clone() *Problem {
+	c := &Problem{
+		numVars: p.numVars,
+		obj:     append([]float64(nil), p.obj...),
+		lower:   append([]float64(nil), p.lower...),
+		upper:   append([]float64(nil), p.upper...),
+		cons:    make([]Constraint, len(p.cons)),
+	}
+	// Constraint term slices are never mutated after AddConstraint, so
+	// sharing them is safe and avoids O(nnz) copying per B&B node.
+	copy(c.cons, p.cons)
+	return c
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota + 1
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective can decrease without bound.
+	Unbounded
+	// IterLimit means the iteration limit was exceeded.
+	IterLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // values of the structural variables
+	Objective float64
+	Iters     int
+}
+
+// ErrNoSolution is wrapped by Solve for infeasible/unbounded problems so
+// callers can branch on it.
+var ErrNoSolution = errors.New("no solution")
+
+const (
+	eps     = 1e-9
+	epsCost = 1e-9
+)
+
+// Solve runs two-phase primal simplex and returns the optimal solution,
+// or a Solution whose Status explains why none exists (in which case the
+// error wraps ErrNoSolution).
+func Solve(p *Problem) (Solution, error) {
+	return SolveDeadline(p, time.Time{})
+}
+
+// SolveDeadline is Solve with a wall-clock deadline; when the deadline
+// passes mid-solve the result carries IterLimit status (wrapped in
+// ErrNoSolution) so callers can treat it like any other unfinished
+// relaxation. A zero deadline means no limit.
+func SolveDeadline(p *Problem, deadline time.Time) (Solution, error) {
+	t, err := newTableau(p)
+	if err != nil {
+		return Solution{}, err
+	}
+	t.deadline = deadline
+	if t.needPhase1 {
+		st, iters := t.run(true)
+		t.iters += iters
+		if st != Optimal {
+			return Solution{Status: st, Iters: t.iters}, fmt.Errorf("phase 1: %v: %w", st, ErrNoSolution)
+		}
+		if t.phase1Objective() > 1e-6 {
+			return Solution{Status: Infeasible, Iters: t.iters}, fmt.Errorf("infeasible: %w", ErrNoSolution)
+		}
+		t.dropArtificials()
+	}
+	st, iters := t.run(false)
+	t.iters += iters
+	sol := Solution{Status: st, Iters: t.iters}
+	if st != Optimal {
+		return sol, fmt.Errorf("phase 2: %v: %w", st, ErrNoSolution)
+	}
+	sol.X = t.extract()
+	sol.Objective = dot(p.obj, sol.X)
+	return sol, nil
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,221 @@
+package models
+
+import (
+	"fmt"
+	"time"
+
+	"pesto/internal/graph"
+)
+
+// NMTConfig parameterizes the Neural Machine Translation model with
+// attention [Bahdanau et al.; Wu et al.] the paper trains on WMT16:
+// stacked-LSTM encoder and decoder plus a per-decoder-step attention
+// mechanism (§5.2: 2- and 4-layer variants, 1024 hidden units,
+// batch 128).
+type NMTConfig struct {
+	// Layers is the number of LSTM layers in encoder and decoder each.
+	Layers int
+	// Hidden is the LSTM hidden size (paper: 1024).
+	Hidden int
+	// Batch is the training batch size (paper: 128).
+	Batch int
+	// SrcLen/DstLen are the unrolled source and target lengths; zero
+	// means 30 each.
+	SrcLen, DstLen int
+	// Vocab is the target vocabulary; zero means 32000.
+	Vocab int
+	// TargetMemory calibrates the total footprint; zero keeps raw.
+	TargetMemory int64
+}
+
+func (c NMTConfig) withDefaults() NMTConfig {
+	if c.SrcLen == 0 {
+		c.SrcLen = 30
+	}
+	if c.DstLen == 0 {
+		c.DstLen = 30
+	}
+	if c.Vocab == 0 {
+		c.Vocab = 32000
+	}
+	if c.Batch == 0 {
+		c.Batch = 128
+	}
+	return c
+}
+
+// NMT builds the forward+backward training graph of one NMT step. The
+// encoder and decoder are LSTM grids like RNNLM's; every decoder step
+// additionally runs attention over the encoder memory, which is what
+// makes NMT "far more complex" (§5.2) and gives Pesto the staggered-
+// communication wins of §5.3.
+func NMT(cfg NMTConfig) (*graph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Layers < 1 || cfg.Hidden < 1 {
+		return nil, fmt.Errorf("nmt: invalid config %+v", cfg)
+	}
+	B, H, L := cfg.Batch, cfg.Hidden, cfg.Layers
+	Ts, Td := cfg.SrcLen, cfg.DstLen
+	rcfg := RNNLMConfig{Layers: L, Hidden: H, Batch: B, SeqLen: Ts}
+	b := newBuilder(L * (Ts + Td) * 40)
+	hBytes := tensorBytes(B * H)
+
+	input := b.cpu("input_pipeline", 0, 80*time.Microsecond)
+
+	// --- Encoder grid (layers 1..L).
+	encH := make([][]graph.NodeID, L+1)
+	encC := make([][]graph.NodeID, L+1)
+	for l := range encH {
+		encH[l] = make([]graph.NodeID, Ts)
+		encC[l] = make([]graph.NodeID, Ts)
+	}
+	for t := 0; t < Ts; t++ {
+		emb := b.gpu(fmt.Sprintf("enc/embed/t%d", t), 1, elemwiseCost(B*H), tensorBytes(B*H))
+		b.edge(input, emb, tensorBytes(B))
+		encH[0][t] = emb
+	}
+	for l := 1; l <= L; l++ {
+		for t := 0; t < Ts; t++ {
+			inputs := []graph.NodeID{encH[l-1][t]}
+			if t > 0 {
+				inputs = append(inputs, encH[l][t-1], encC[l][t-1])
+			}
+			h, c := lstmCell(b, fmt.Sprintf("enc/l%d/t%d", l, t), l, rcfg, inputs, hBytes, 1)
+			encH[l][t], encC[l][t] = h, c
+		}
+	}
+	// Encoder memory: gathers the top-layer states once; attention
+	// reads stream slices of it (we model per-step reads at B×H rather
+	// than B×Ts×H because TensorFlow deduplicates the memory tensor's
+	// transfer per device).
+	encMem := b.gpu("enc/memory_concat", L, elemwiseCost(B*Ts*H), tensorBytes(B*Ts*H))
+	for t := 0; t < Ts; t++ {
+		b.edge(encH[L][t], encMem, hBytes)
+	}
+
+	// --- Decoder grid with attention (layers L+1..2L; the paper's
+	// Expert places attention and softmax with the last LSTM layer,
+	// which contiguous layer blocks reproduce).
+	decH := make([][]graph.NodeID, L+1)
+	decC := make([][]graph.NodeID, L+1)
+	for l := range decH {
+		decH[l] = make([]graph.NodeID, Td)
+		decC[l] = make([]graph.NodeID, Td)
+	}
+	for t := 0; t < Td; t++ {
+		emb := b.gpu(fmt.Sprintf("dec/embed/t%d", t), L+1, elemwiseCost(B*H), tensorBytes(B*H))
+		b.edge(input, emb, tensorBytes(B))
+		decH[0][t] = emb
+	}
+	// Column-major order: attention output of step t-1 feeds step t's
+	// first layer ("input feeding" in the GNMT architecture).
+	attnLayer := 2 * L
+	attnOut := make([]graph.NodeID, Td)
+	for t := 0; t < Td; t++ {
+		for l := 1; l <= L; l++ {
+			inputs := []graph.NodeID{decH[l-1][t]}
+			if t > 0 {
+				inputs = append(inputs, decH[l][t-1], decC[l][t-1])
+			}
+			if l == 1 && t > 0 {
+				inputs = append(inputs, attnOut[t-1]) // input feeding
+			}
+			h, c := lstmCell(b, fmt.Sprintf("dec/l%d/t%d", l, t), L+l, rcfg, inputs, hBytes, 1)
+			decH[l][t], decC[l][t] = h, c
+			if l == L {
+				attnOut[t] = attention(b, fmt.Sprintf("attn/t%d", t), attnLayer, B, H, Ts, encMem, h)
+			}
+		}
+	}
+
+	// --- Projection + softmax per decoder step.
+	lossLayer := 2*L + 1
+	losses := make([]graph.NodeID, Td)
+	for t := 0; t < Td; t++ {
+		k := b.kernel(fmt.Sprintf("proj/t%d/kernel", t), lossLayer)
+		proj := b.gpu(fmt.Sprintf("proj/t%d", t), lossLayer,
+			matmulCost(1, B, 2*H, cfg.Vocab/8),
+			tensorBytes(B*cfg.Vocab/8)+tensorBytes(H*cfg.Vocab/8)/int64(Td))
+		b.edge(k, proj, 64)
+		b.edge(attnOut[t], proj, hBytes)
+		sm := b.gpu(fmt.Sprintf("softmax/t%d", t), lossLayer, elemwiseCost(B*cfg.Vocab/8), tensorBytes(B*cfg.Vocab/8))
+		b.edge(proj, sm, tensorBytes(B*cfg.Vocab/8))
+		loss := b.gpu(fmt.Sprintf("loss/t%d", t), lossLayer, elemwiseCost(B), tensorBytes(B))
+		b.edge(sm, loss, tensorBytes(B*cfg.Vocab/8))
+		losses[t] = loss
+	}
+
+	// --- Backward: mirrored decoder then encoder grids (2× costs),
+	// condensed to one backward cell per forward cell.
+	bwDec := make([]graph.NodeID, Td)
+	for t := Td - 1; t >= 0; t-- {
+		g := b.gpu(fmt.Sprintf("bw/dec_grad/t%d", t), lossLayer, 2*elemwiseCost(B*cfg.Vocab/8), hBytes)
+		b.edge(losses[t], g, tensorBytes(B))
+		if t < Td-1 {
+			b.edge(bwDec[t+1], g, hBytes)
+		}
+		bwDec[t] = g
+	}
+	for l := L; l >= 1; l-- {
+		for t := Td - 1; t >= 0; t-- {
+			inputs := []graph.NodeID{bwDec[t], decH[l][t], decC[l][t]}
+			h, _ := lstmCell(b, fmt.Sprintf("bw/dec/l%d/t%d", l, t), L+l, rcfg, inputs, hBytes, 2)
+			bwDec[t] = h
+		}
+	}
+	// Gradient into the encoder flows through the attention memory.
+	bwMem := b.gpu("bw/enc_memory_grad", L, 2*elemwiseCost(B*Ts*H), tensorBytes(B*Ts*H))
+	for t := 0; t < Td; t++ {
+		b.edge(bwDec[t], bwMem, hBytes)
+	}
+	bwEnc := make([]graph.NodeID, Ts)
+	for t := 0; t < Ts; t++ {
+		g := b.gpu(fmt.Sprintf("bw/enc_grad/t%d", t), L, elemwiseCost(B*H), hBytes)
+		b.edge(bwMem, g, hBytes)
+		bwEnc[t] = g
+	}
+	for l := L; l >= 1; l-- {
+		for t := Ts - 1; t >= 0; t-- {
+			inputs := []graph.NodeID{bwEnc[t], encH[l][t], encC[l][t]}
+			if t < Ts-1 {
+				inputs = append(inputs, bwEnc[t+1])
+			}
+			h, _ := lstmCell(b, fmt.Sprintf("bw/enc/l%d/t%d", l, t), l, rcfg, inputs, hBytes, 2)
+			bwEnc[t] = h
+		}
+	}
+	// Weight updates, one per encoder/decoder layer.
+	gradBytes := tensorBytes(8 * H * H)
+	for l := 1; l <= L; l++ {
+		applyE := b.gpu(fmt.Sprintf("apply_grad/enc_l%d", l), l, elemwiseCost(8*H*H/64), gradBytes)
+		b.edge(bwEnc[0], applyE, gradBytes)
+		applyD := b.gpu(fmt.Sprintf("apply_grad/dec_l%d", l), L+l, elemwiseCost(8*H*H/64), gradBytes)
+		b.edge(bwDec[0], applyD, gradBytes)
+	}
+
+	g, err := b.finish("nmt")
+	if err != nil {
+		return nil, err
+	}
+	scaleMemory(g, cfg.TargetMemory)
+	return g, nil
+}
+
+// attention emits a Bahdanau-style attention block for one decoder
+// step: scores, softmax, context, and the combined output projection.
+func attention(b *builder, name string, layer, B, H, Ts int, encMem, query graph.NodeID) graph.NodeID {
+	k := b.kernel(name+"/kernel", layer)
+	scores := b.gpu(name+"/scores", layer, matmulCost(1, B, H, Ts), tensorBytes(B*Ts))
+	b.edge(k, scores, 64)
+	b.edge(encMem, scores, tensorBytes(B*H))
+	b.edge(query, scores, tensorBytes(B*H))
+	sm := b.gpu(name+"/softmax", layer, elemwiseCost(B*Ts), tensorBytes(B*Ts))
+	b.edge(scores, sm, tensorBytes(B*Ts))
+	ctx := b.gpu(name+"/context", layer, matmulCost(1, B, Ts, H), tensorBytes(B*H))
+	b.edge(sm, ctx, tensorBytes(B*Ts))
+	b.edge(encMem, ctx, tensorBytes(B*H))
+	out := b.gpu(name+"/proj", layer, matmulCost(1, B, 2*H, H), tensorBytes(B*H))
+	b.edge(ctx, out, tensorBytes(B*H))
+	b.edge(query, out, tensorBytes(B*H))
+	return out
+}

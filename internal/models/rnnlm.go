@@ -1,0 +1,184 @@
+package models
+
+import (
+	"fmt"
+	"time"
+
+	"pesto/internal/graph"
+)
+
+// RNNLMConfig parameterizes the Recurrent Neural Network Language Model
+// [Zaremba et al.; Jozefowicz et al.] — stacked LSTM layers unrolled
+// over time, trained on Penn Treebank in the paper (§5.2, batch 128).
+type RNNLMConfig struct {
+	// Layers is the number of stacked LSTM layers (paper: 2, 4, 16).
+	Layers int
+	// Hidden is the LSTM hidden size (paper: 2048 or 1024).
+	Hidden int
+	// Batch is the training batch size (paper: 128).
+	Batch int
+	// SeqLen is the unroll length; zero means 35 (the PTB standard).
+	SeqLen int
+	// Vocab is the vocabulary size; zero means 10000 (PTB).
+	Vocab int
+	// TargetMemory calibrates the total memory footprint (bytes); zero
+	// keeps the raw activation-based estimate.
+	TargetMemory int64
+}
+
+func (c RNNLMConfig) withDefaults() RNNLMConfig {
+	if c.SeqLen == 0 {
+		c.SeqLen = 35
+	}
+	if c.Vocab == 0 {
+		c.Vocab = 10000
+	}
+	if c.Batch == 0 {
+		c.Batch = 128
+	}
+	return c
+}
+
+// lstmCell emits the operation subgraph of one LSTM cell and returns
+// the op producing its hidden output and its cell-state output. bwScale
+// doubles costs for backward cells.
+func lstmCell(b *builder, name string, layer int, cfg RNNLMConfig, inputs []graph.NodeID, inBytes int64, bwScale int) (hidden, cell graph.NodeID) {
+	B, H := cfg.Batch, cfg.Hidden
+	scale := func(d int64) int64 { return d * int64(bwScale) }
+	k := b.kernel(name+"/kernel", layer)
+	mm := b.gpu(name+"/matmul", layer,
+		matmulCost(1, B, 2*H, 4*H)*time.Duration(bwScale),
+		scale(tensorBytes(B*4*H)+tensorBytes(8*H*H)/int64(cfg.SeqLen)))
+	b.edge(k, mm, 64)
+	for _, in := range inputs {
+		b.edge(in, mm, inBytes)
+	}
+	bias := b.gpu(name+"/bias", layer, elemwiseCost(B*4*H), scale(tensorBytes(B*4*H)))
+	b.edge(mm, bias, tensorBytes(B*4*H))
+	var gates [4]graph.NodeID
+	for gi, gn := range []string{"i", "f", "g", "o"} {
+		gates[gi] = b.gpu(name+"/gate_"+gn, layer, elemwiseCost(B*H), scale(tensorBytes(B*H)))
+		b.edge(bias, gates[gi], tensorBytes(B*H))
+	}
+	mulF := b.gpu(name+"/c_mul_f", layer, elemwiseCost(B*H), scale(tensorBytes(B*H)))
+	b.edge(gates[1], mulF, tensorBytes(B*H))
+	mulI := b.gpu(name+"/c_mul_i", layer, elemwiseCost(B*H), scale(tensorBytes(B*H)))
+	b.edge(gates[0], mulI, tensorBytes(B*H))
+	b.edge(gates[2], mulI, tensorBytes(B*H))
+	cell = b.gpu(name+"/c_add", layer, elemwiseCost(B*H), scale(tensorBytes(B*H)))
+	b.edge(mulF, cell, tensorBytes(B*H))
+	b.edge(mulI, cell, tensorBytes(B*H))
+	tanhC := b.gpu(name+"/tanh_c", layer, elemwiseCost(B*H), scale(tensorBytes(B*H)))
+	b.edge(cell, tanhC, tensorBytes(B*H))
+	hidden = b.gpu(name+"/h_mul_o", layer, elemwiseCost(B*H), scale(tensorBytes(B*H)))
+	b.edge(tanhC, hidden, tensorBytes(B*H))
+	b.edge(gates[3], hidden, tensorBytes(B*H))
+	return hidden, cell
+}
+
+// RNNLM builds the forward+backward training graph of an RNNLM step:
+// an L×T grid of LSTM cells, per-step softmax projection, a mirrored
+// backward grid, and per-layer gradient accumulation chains. The grid
+// structure is exactly what §5.3 credits Pesto's wins on ("owing to the
+// grid like structure of LSTM cells in NMT and RNNLM").
+func RNNLM(cfg RNNLMConfig) (*graph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Layers < 1 || cfg.Hidden < 1 {
+		return nil, fmt.Errorf("rnnlm: invalid config %+v", cfg)
+	}
+	B, H, L, T := cfg.Batch, cfg.Hidden, cfg.Layers, cfg.SeqLen
+	b := newBuilder(L * T * 30)
+	hBytes := tensorBytes(B * H)
+
+	input := b.cpu("input_pipeline", 0, 50*time.Microsecond)
+
+	// Forward grid.
+	fwH := make([][]graph.NodeID, L+1) // fwH[0] = embeddings
+	fwC := make([][]graph.NodeID, L+1)
+	for l := range fwH {
+		fwH[l] = make([]graph.NodeID, T)
+		fwC[l] = make([]graph.NodeID, T)
+	}
+	for t := 0; t < T; t++ {
+		emb := b.gpu(fmt.Sprintf("embed/t%d", t), 1, elemwiseCost(B*H), tensorBytes(B*H))
+		b.edge(input, emb, tensorBytes(B))
+		fwH[0][t] = emb
+	}
+	for l := 1; l <= L; l++ {
+		for t := 0; t < T; t++ {
+			inputs := []graph.NodeID{fwH[l-1][t]}
+			if t > 0 {
+				inputs = append(inputs, fwH[l][t-1], fwC[l][t-1])
+			}
+			h, c := lstmCell(b, fmt.Sprintf("fw/l%d/t%d", l, t), l, cfg, inputs, hBytes, 1)
+			fwH[l][t], fwC[l][t] = h, c
+		}
+	}
+
+	// Per-step projection + softmax loss (layer L+1, which the Expert
+	// strategy keeps adjacent to the last LSTM layer).
+	lossLayer := L + 1
+	losses := make([]graph.NodeID, T)
+	for t := 0; t < T; t++ {
+		k := b.kernel(fmt.Sprintf("proj/t%d/kernel", t), lossLayer)
+		proj := b.gpu(fmt.Sprintf("proj/t%d/matmul", t), lossLayer,
+			matmulCost(1, B, H, cfg.Vocab),
+			tensorBytes(B*cfg.Vocab)+tensorBytes(H*cfg.Vocab)/int64(T))
+		b.edge(k, proj, 64)
+		b.edge(fwH[L][t], proj, hBytes)
+		sm := b.gpu(fmt.Sprintf("softmax/t%d", t), lossLayer, elemwiseCost(B*cfg.Vocab), tensorBytes(B*cfg.Vocab))
+		b.edge(proj, sm, tensorBytes(B*cfg.Vocab))
+		loss := b.gpu(fmt.Sprintf("loss/t%d", t), lossLayer, elemwiseCost(B), tensorBytes(B))
+		b.edge(sm, loss, tensorBytes(B*cfg.Vocab))
+		losses[t] = loss
+	}
+
+	// Backward grid (right-to-left, top-down), roughly 2× forward cost.
+	bwH := make([][]graph.NodeID, L+1)
+	for l := range bwH {
+		bwH[l] = make([]graph.NodeID, T)
+	}
+	for t := T - 1; t >= 0; t-- {
+		g := b.gpu(fmt.Sprintf("bw/loss_grad/t%d", t), lossLayer, elemwiseCost(B*cfg.Vocab), tensorBytes(B*H))
+		b.edge(losses[t], g, tensorBytes(B))
+		gm := b.gpu(fmt.Sprintf("bw/proj_grad/t%d", t), lossLayer,
+			2*matmulCost(1, B, cfg.Vocab, H), tensorBytes(B*H))
+		b.edge(g, gm, tensorBytes(B*cfg.Vocab))
+		bwH[L][t] = gm
+	}
+	for l := L; l >= 1; l-- {
+		for t := T - 1; t >= 0; t-- {
+			inputs := []graph.NodeID{bwH[l][t]}
+			if t < T-1 {
+				inputs = append(inputs, bwH[l-1][t+1]) // grad from the right cell
+			}
+			// Activation reuse from the forward cell.
+			inputs = append(inputs, fwH[l][t], fwC[l][t])
+			h, _ := lstmCell(b, fmt.Sprintf("bw/l%d/t%d", l, t), l, cfg, inputs, hBytes, 2)
+			bwH[l-1][t] = h
+		}
+	}
+
+	// Per-layer gradient accumulation chains and weight updates.
+	gradBytes := tensorBytes(8 * H * H)
+	for l := 1; l <= L; l++ {
+		var acc graph.NodeID = -1
+		for t := 0; t < T; t++ {
+			ga := b.gpu(fmt.Sprintf("grad_acc/l%d/t%d", l, t), l, elemwiseCost(B*H), hBytes)
+			b.edge(bwH[l-1][t], ga, hBytes)
+			if acc >= 0 {
+				b.edge(acc, ga, gradBytes/int64(T))
+			}
+			acc = ga
+		}
+		apply := b.gpu(fmt.Sprintf("apply_grad/l%d", l), l, elemwiseCost(8*H*H/64), gradBytes)
+		b.edge(acc, apply, gradBytes)
+	}
+
+	g, err := b.finish("rnnlm")
+	if err != nil {
+		return nil, err
+	}
+	scaleMemory(g, cfg.TargetMemory)
+	return g, nil
+}

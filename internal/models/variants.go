@@ -1,0 +1,138 @@
+package models
+
+import (
+	"fmt"
+	"time"
+
+	"pesto/internal/graph"
+)
+
+// Variant names one of the eleven model variants of §5.2 and knows how
+// to build its graph. Memory targets are calibrated so the paper's
+// fits/doesn't-fit facts hold on 16 GB GPUs: only RNNLM-2-2048 and
+// NMT-2-1024 fit on a single GPU, and the NASNet-4-212 / NASNet-6-168
+// footprints are large enough that the Expert strategy's unbalanced
+// split OOMs while a balanced split fits.
+type Variant struct {
+	// Name is the paper's variant label, e.g. "RNNLM-2-2048".
+	Name string
+	// Family is the model family ("rnnlm", "nmt", "transformer",
+	// "nasnet").
+	Family string
+	// Branchy marks families whose Expert strategy splits parallel
+	// branches (NASNet) rather than layers.
+	Branchy bool
+	// Build constructs the graph.
+	Build func() (*graph.Graph, error)
+}
+
+const gib = int64(1) << 30
+
+// PaperVariants returns the eleven variants of Figure 7 at full scale.
+func PaperVariants() []Variant {
+	return []Variant{
+		{Name: "RNNLM-2-2048", Family: "rnnlm", Build: func() (*graph.Graph, error) {
+			return RNNLM(RNNLMConfig{Layers: 2, Hidden: 2048, Batch: 128, TargetMemory: 12 * gib})
+		}},
+		{Name: "RNNLM-4-2048", Family: "rnnlm", Build: func() (*graph.Graph, error) {
+			return RNNLM(RNNLMConfig{Layers: 4, Hidden: 2048, Batch: 128, TargetMemory: 22 * gib})
+		}},
+		{Name: "RNNLM-16-1024", Family: "rnnlm", Build: func() (*graph.Graph, error) {
+			return RNNLM(RNNLMConfig{Layers: 16, Hidden: 1024, Batch: 128, TargetMemory: 24 * gib})
+		}},
+		{Name: "NMT-2-1024", Family: "nmt", Build: func() (*graph.Graph, error) {
+			return NMT(NMTConfig{Layers: 2, Hidden: 1024, Batch: 128, TargetMemory: 13 * gib})
+		}},
+		{Name: "NMT-4-1024", Family: "nmt", Build: func() (*graph.Graph, error) {
+			return NMT(NMTConfig{Layers: 4, Hidden: 1024, Batch: 128, TargetMemory: 22 * gib})
+		}},
+		{Name: "Transformer-10-8-1024", Family: "transformer", Build: func() (*graph.Graph, error) {
+			return Transformer(TransformerConfig{Layers: 10, Heads: 8, Hidden: 1024, Batch: 32, TargetMemory: 20 * gib})
+		}},
+		{Name: "Transformer-12-8-1024", Family: "transformer", Build: func() (*graph.Graph, error) {
+			return Transformer(TransformerConfig{Layers: 12, Heads: 8, Hidden: 1024, Batch: 32, TargetMemory: 24 * gib})
+		}},
+		{Name: "Transformer-6-16-2048", Family: "transformer", Build: func() (*graph.Graph, error) {
+			return Transformer(TransformerConfig{Layers: 6, Heads: 16, Hidden: 2048, Batch: 32, TargetMemory: 26 * gib})
+		}},
+		{Name: "NASNet-4-212", Family: "nasnet", Branchy: true, Build: func() (*graph.Graph, error) {
+			return NASNet(NASNetConfig{Cells: 4, Filters: 212, Batch: 32, TargetMemory: 29 * gib})
+		}},
+		{Name: "NASNet-6-148", Family: "nasnet", Branchy: true, Build: func() (*graph.Graph, error) {
+			return NASNet(NASNetConfig{Cells: 6, Filters: 148, Batch: 32, TargetMemory: 22 * gib})
+		}},
+		{Name: "NASNet-6-168", Family: "nasnet", Branchy: true, Build: func() (*graph.Graph, error) {
+			return NASNet(NASNetConfig{Cells: 6, Filters: 168, Batch: 32, TargetMemory: 30 * gib})
+		}},
+	}
+}
+
+// SmallVariants returns scaled-down counterparts (short unrolls, few
+// layers) for fast tests, preserving each family's structure and the
+// same fits/doesn't-fit pattern against 16 GB GPUs.
+func SmallVariants() []Variant {
+	return []Variant{
+		{Name: "RNNLM-small", Family: "rnnlm", Build: func() (*graph.Graph, error) {
+			return RNNLM(RNNLMConfig{Layers: 2, Hidden: 512, Batch: 32, SeqLen: 6, Vocab: 2000, TargetMemory: 4 * gib})
+		}},
+		{Name: "NMT-small", Family: "nmt", Build: func() (*graph.Graph, error) {
+			return NMT(NMTConfig{Layers: 2, Hidden: 512, Batch: 32, SrcLen: 5, DstLen: 5, Vocab: 4000, TargetMemory: 4 * gib})
+		}},
+		{Name: "Transformer-small", Family: "transformer", Build: func() (*graph.Graph, error) {
+			return Transformer(TransformerConfig{Layers: 2, Heads: 4, Hidden: 256, Batch: 8, SeqLen: 8, Vocab: 4000, TargetMemory: 4 * gib})
+		}},
+		{Name: "NASNet-small", Family: "nasnet", Branchy: true, Build: func() (*graph.Graph, error) {
+			return NASNet(NASNetConfig{Cells: 2, Filters: 32, Batch: 8, Spatial: 8, TargetMemory: 4 * gib})
+		}},
+	}
+}
+
+// FindVariant looks a variant up by name across PaperVariants and
+// SmallVariants.
+func FindVariant(name string) (Variant, error) {
+	for _, v := range append(PaperVariants(), SmallVariants()...) {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return Variant{}, fmt.Errorf("unknown model variant %q", name)
+}
+
+// ToyFigure2 builds the illustrative DAG of Figure 2: a source A, two
+// hop-deep chains of light operations (s1..s9 and d1..d9, 17µs each), a
+// two-stage heavy pipeline F → G (150µs each), and a sink H. A
+// critical-path-by-hops scheduler (Figure 2(b)'s "naive scheduling ...
+// without knowing the compute requirements") runs the deep light chains
+// before F, stalling the heavy pipeline and the downstream GPU; the
+// optimal schedule of Figure 2(d) starts F and G as early as possible
+// and hides the light chains behind them, recovering the paper's quoted
+// 22–26%.
+func ToyFigure2() (*graph.Graph, error) {
+	b := newBuilder(16)
+	mem := int64(1) << 20
+	mk := func(name string, cost time.Duration) graph.NodeID {
+		return b.gpu(name, 1, cost, mem)
+	}
+	const tb = 4 << 10
+	a := mk("A", 10*time.Microsecond)
+	chain := func(prefix string) graph.NodeID {
+		prev := a
+		for i := 1; i <= 9; i++ {
+			cur := mk(fmt.Sprintf("%s%d", prefix, i), 17*time.Microsecond)
+			b.edge(prev, cur, tb)
+			prev = cur
+		}
+		return prev
+	}
+	sEnd := chain("s")
+	dEnd := chain("d")
+	f := mk("F", 150*time.Microsecond)
+	b.edge(a, f, tb)
+	g := mk("G", 150*time.Microsecond)
+	b.edge(f, g, tb)
+	out := mk("H", 10*time.Microsecond)
+	b.edge(sEnd, out, tb)
+	b.edge(dEnd, out, tb)
+	b.edge(g, out, tb)
+	return b.finish("toy-figure2")
+}

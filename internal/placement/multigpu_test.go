@@ -1,0 +1,134 @@
+package placement
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pesto/internal/graph"
+	"pesto/internal/models"
+	"pesto/internal/sim"
+)
+
+func TestPlaceMultiGPUFourWay(t *testing.T) {
+	// Four independent heavy pipelines: a 4-GPU placement should run
+	// them in parallel, roughly 4x faster than one GPU.
+	g := graph.New(16)
+	var sink []graph.NodeID
+	src := g.AddNode(gpuNode("src", 5*time.Microsecond))
+	for p := 0; p < 4; p++ {
+		prev := src
+		for i := 0; i < 3; i++ {
+			cur := g.AddNode(gpuNode("op", 200*time.Microsecond))
+			mustEdge(t, g, prev, cur, 1<<10)
+			prev = cur
+		}
+		sink = append(sink, prev)
+	}
+	out := g.AddNode(gpuNode("out", 5*time.Microsecond))
+	for _, s := range sink {
+		mustEdge(t, g, s, out, 1<<10)
+	}
+
+	sys4 := sim.NewSystem(4, gpuMem)
+	res, err := PlaceMultiGPU(context.Background(), g, sys4, Options{
+		ILPTimeLimit: 4 * time.Second, ScheduleFromILP: true,
+	})
+	if err != nil {
+		t.Fatalf("PlaceMultiGPU: %v", err)
+	}
+	r4, err := sim.Run(g, sys4, res.Plan)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+
+	single := make([]sim.DeviceID, g.NumNodes())
+	for i := range single {
+		single[i] = 1
+	}
+	r1, err := sim.Run(g, sys4, sim.Plan{Device: single})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(r4.Makespan) > 0.45*float64(r1.Makespan) {
+		t.Errorf("4-GPU placement %v not parallel enough vs single GPU %v", r4.Makespan, r1.Makespan)
+	}
+	// All four GPUs should host work.
+	used := map[sim.DeviceID]bool{}
+	for _, d := range res.Plan.Device {
+		used[d] = true
+	}
+	gpuCount := 0
+	for d := range used {
+		if d >= 1 {
+			gpuCount++
+		}
+	}
+	if gpuCount < 3 {
+		t.Errorf("only %d GPUs used: %v", gpuCount, res.Plan.Device)
+	}
+}
+
+func TestPlaceMultiGPUDefersToExactFor2(t *testing.T) {
+	g := graph.New(2)
+	g.AddNode(gpuNode("a", 100*time.Microsecond))
+	g.AddNode(gpuNode("b", 100*time.Microsecond))
+	sys := sim.NewSystem(2, gpuMem)
+	res, err := PlaceMultiGPU(context.Background(), g, sys, Options{CoarsenTarget: 2, ScheduleFromILP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact path proves optimality on this trivial instance.
+	if res.Gap != 0 {
+		t.Errorf("gap = %g, want 0 (exact 2-GPU path)", res.Gap)
+	}
+}
+
+func TestPlaceMultiGPURejectsTooFewGPUs(t *testing.T) {
+	g := graph.New(1)
+	g.AddNode(gpuNode("a", time.Microsecond))
+	if _, err := PlaceMultiGPU(context.Background(), g, sim.NewSystem(1, gpuMem), Options{}); !errors.Is(err, ErrUnsupportedSystem) {
+		t.Fatalf("err = %v, want ErrUnsupportedSystem", err)
+	}
+}
+
+func TestPlaceMultiGPUModelVariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	v, err := models.FindVariant("RNNLM-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := v.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sim.NewSystem(4, gpuMem)
+	res, err := PlaceMultiGPU(context.Background(), g, sys, Options{
+		ILPTimeLimit: 4 * time.Second, ScheduleFromILP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := sim.Run(g, sys, res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must not lose to the 2-GPU result by more than a sliver.
+	sys2 := sim.NewSystem(2, gpuMem)
+	res2, err := Place(context.Background(), g, sys2, Options{
+		ILPTimeLimit: 4 * time.Second, ScheduleFromILP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim.Run(g, sys2, res2.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(r4.Makespan) > 1.1*float64(r2.Makespan) {
+		t.Errorf("4 GPUs (%v) worse than 2 GPUs (%v)", r4.Makespan, r2.Makespan)
+	}
+}

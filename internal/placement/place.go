@@ -1,0 +1,1037 @@
+package placement
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"pesto/internal/coarsen"
+	"pesto/internal/graph"
+	"pesto/internal/ilp"
+	"pesto/internal/sim"
+)
+
+// Errors reported by Place.
+var (
+	// ErrUnsupportedSystem marks systems the ILP formulation does not
+	// cover (it needs exactly two GPUs, the paper's primary setting;
+	// §3.2.2 sketches the multi-GPU extension).
+	ErrUnsupportedSystem = errors.New("unsupported system for Pesto ILP")
+	// ErrNoPlacement means no feasible placement was found at all.
+	ErrNoPlacement = errors.New("no feasible placement found")
+)
+
+// Options configures the Pesto placement pipeline.
+type Options struct {
+	// CoarsenTarget is the coarse-graph size handed to the ILP. The
+	// paper coarsens to ~200 vertices for CPLEX; this repository's
+	// heuristic/refinement layers default to 192 (close to the paper);
+	// the exact branch and bound additionally coarsens to ILPMaxSize
+	// (see DESIGN.md).
+	CoarsenTarget int
+	// ILPTimeLimit bounds the branch-and-bound search; zero means 10s.
+	ILPTimeLimit time.Duration
+	// DisableCongestion removes congestion from the planner's world
+	// model — the Figure 5 ablation. The ILP drops constraint group
+	// (7), and the warm-start/refinement heuristics evaluate against a
+	// congestion-free, negligible-communication system (the assumptions
+	// §3.2.2 attributes to prior DAG schedulers). The returned plan is
+	// still meant for the real FCFS system, where its bunched transfers
+	// serialize.
+	DisableCongestion bool
+	// DisableMemory drops the memory constraints (8).
+	DisableMemory bool
+	// MemorySlack is the allowed relative imbalance of the per-GPU
+	// memory split; zero means 0.15.
+	MemorySlack float64
+	// CongestionTopK bounds the number of communication vertices that
+	// receive pairwise congestion constraints (the largest transfers;
+	// congestion among tiny transfers is immaterial but inflates the
+	// LP quadratically). Zero means 16.
+	CongestionTopK int
+	// ILPMaxSize caps the coarse-graph size handed to the exact ILP;
+	// graphs finer than this get a second, smaller coarsening for the
+	// branch and bound while heuristics work at CoarsenTarget. Zero
+	// means 48.
+	ILPMaxSize int
+	// NonOverlapTopK bounds the number of same-device non-overlap
+	// pairs, keeping those with the largest combined compute time.
+	// Dropped pairs can make the ILP's C_max optimistic; the realized
+	// plan is always re-validated through the simulator. Zero means
+	// 64.
+	NonOverlapTopK int
+	// ILPOnly disables the warm starts, the simulator-guided candidate
+	// selection and the refinement, returning exactly what the branch
+	// and bound produced (placement and blob schedule from the ILP's
+	// start times). Used by ablations that isolate the ILP's
+	// constraints — e.g. Figure 5's congestion study, where the
+	// always-congestion-aware heuristics would mask the effect.
+	ILPOnly bool
+	// ScheduleFromILP controls whether the ILP's start times become a
+	// strict per-device order (Pesto's control dependencies). When
+	// false, only the placement is used and the simulator's
+	// TensorFlow-like ready queue schedules operations — the fallback
+	// §3.3 describes for heavily coarsened graphs.
+	ScheduleFromILP bool
+	// Seed seeds the deterministic parts of heuristics.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.CoarsenTarget <= 0 {
+		o.CoarsenTarget = 192
+	}
+	if o.ILPTimeLimit <= 0 {
+		o.ILPTimeLimit = 10 * time.Second
+	}
+	if o.MemorySlack <= 0 {
+		o.MemorySlack = 0.15
+	}
+	if o.CongestionTopK <= 0 {
+		o.CongestionTopK = 16
+	}
+	if o.ILPMaxSize <= 0 {
+		o.ILPMaxSize = 48
+	}
+	if o.NonOverlapTopK <= 0 {
+		o.NonOverlapTopK = 64
+	}
+	return o
+}
+
+// Result is the outcome of Place.
+type Result struct {
+	// Plan is the placement (and, with ScheduleFromILP, the schedule)
+	// for the original graph.
+	Plan sim.Plan
+	// CoarsePlan is the same plan at coarse granularity.
+	CoarsePlan sim.Plan
+	// CoarseSize is the number of coarse vertices the ILP solved over.
+	CoarseSize int
+	// ILPStatus, Gap and Nodes report the branch-and-bound outcome;
+	// Gap == 0 with OptimalStatus is the Theorem 3.1 regime.
+	ILPStatus ilp.Status
+	Gap       float64
+	Nodes     int
+	// PredictedMakespan is the ILP's C_max (or the incumbent
+	// heuristic's simulated makespan when that won). It can be
+	// optimistic when non-overlap/congestion pairs were capped.
+	PredictedMakespan time.Duration
+	// SimulatedMakespan is the realized makespan of the returned Plan
+	// on the discrete-event simulator — the value that selected it.
+	SimulatedMakespan time.Duration
+	// PlacementTime is the end-to-end time Place took — the paper's
+	// "placement time" metric (Table 2).
+	PlacementTime time.Duration
+	// CoarsenIterations reports coarsening effort.
+	CoarsenIterations int
+}
+
+// Place runs the full Pesto pipeline on g for sys: coarsen, build the
+// ILP, solve with branch and bound plus a list-scheduling incumbent
+// heuristic, and expand the coarse solution to an original-graph plan.
+func Place(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*Result, error) {
+	start := time.Now()
+	opts = opts.withDefaults()
+	if len(sys.GPUs()) != 2 {
+		return nil, fmt.Errorf("pesto: system has %d GPUs: %w", len(sys.GPUs()), ErrUnsupportedSystem)
+	}
+
+	// Two coarsening granularities (both §3.3): a fine one preserving
+	// parallelism for the list-scheduling heuristics and refinement,
+	// and — when the fine graph is still too large for the exact
+	// branch and bound — a smaller one for the ILP, the way the paper
+	// coarsens to a CPLEX-tractable ~200 vertices.
+	cres, err := coarsen.Coarsen(g, coarsen.Options{Target: opts.CoarsenTarget})
+	if err != nil {
+		return nil, fmt.Errorf("pesto coarsen: %w", err)
+	}
+	cg := cres.Coarse
+
+	ilpCres := cres
+	if cg.NumNodes() > opts.ILPMaxSize {
+		ilpCres, err = coarsen.Coarsen(g, coarsen.Options{Target: opts.ILPMaxSize})
+		if err != nil {
+			return nil, fmt.Errorf("pesto coarsen (ilp level): %w", err)
+		}
+	}
+	m, err := buildModel(ilpCres.Coarse, sys, opts)
+	if err != nil {
+		return nil, fmt.Errorf("pesto model: %w", err)
+	}
+
+	// Incumbent heuristic: round the relaxation's placement, repair
+	// memory, list-schedule the original graph, and report the realized
+	// makespan (a valid C_max upper bound: any valid schedule is a
+	// feasible ILP point, §3.2.2).
+	hILP := &heuristic{model: m, cg: ilpCres.Coarse, sys: sys, horizon: m.horizon, opts: opts, orig: g, cres: ilpCres}
+	incumbent := hILP.tryIncumbent
+	if opts.ILPOnly {
+		incumbent = nil // pure branch and bound
+	}
+	// The time budget is split between the exact branch and bound and a
+	// hill-climbing refinement at the finer granularity (single coarse-
+	// node moves evaluated through the simulator), which recovers the
+	// scheduling-aware quality the capped ILP may miss.
+	ilpBudget := opts.ILPTimeLimit * 6 / 10
+	if opts.ILPOnly {
+		ilpBudget = opts.ILPTimeLimit // no refinement phase to reserve for
+	}
+	sol, err := ilp.Solve(ctx, ilp.Problem{LP: m.lp, Binary: m.binary}, ilp.Options{
+		TimeLimit: ilpBudget,
+		Incumbent: incumbent,
+	})
+	if err != nil && !errors.Is(err, ilp.ErrInfeasible) {
+		return nil, fmt.Errorf("pesto ilp: %w", err)
+	}
+	if opts.ILPOnly {
+		return finishILPOnly(g, sys, m, ilpCres, sol, opts, start)
+	}
+	if sol.Status == ilp.OptimalStatus || sol.Status == ilp.FeasibleStatus {
+		hILP.evalAssign(m.assignmentFromX(sol.X))
+	}
+
+	// Fine-granularity seeding and refinement, inheriting the ILP
+	// level's best placement.
+	// List-scheduling placements (the ETF/SCT family) also warm-start
+	// the search — a standard MILP technique standing in for the
+	// stronger solver the paper had: whatever the greedy schedulers
+	// find is a feasible ILP point, so Pesto starts from at least
+	// their quality and improves from there.
+	h := &heuristic{cg: cres.Coarse, sys: sys, horizon: m.horizon, opts: opts, orig: g, cres: cres}
+	h.seedAssignments()
+	h.seedListScheduling()
+	if hILP.bestDev != nil {
+		h.adoptOriginal(hILP.bestDev)
+	}
+	h.refine(ctx, start.Add(opts.ILPTimeLimit))
+
+	res := &Result{
+		CoarseSize:        cg.NumNodes(),
+		ILPStatus:         sol.Status,
+		Gap:               sol.Gap,
+		Nodes:             sol.Nodes,
+		CoarsenIterations: cres.Iterations,
+	}
+
+	// Collect candidate coarse plans: the ILP's solution (whose C_max
+	// can be optimistic when constraint pairs were capped) and the
+	// heuristic's best rounding. Every candidate is expanded to the
+	// original graph twice — once with the strict blob order the coarse
+	// schedule implies, and once under ready-queue FIFO scheduling (the
+	// paper's §3.3 fallback "when each vertex in the final coarsened
+	// graph may contain hundreds of operations ... instead employ the
+	// default TensorFlow scheduling") — and the realized simulated
+	// makespan decides.
+	ilpSolved := sol.Status == ilp.OptimalStatus || sol.Status == ilp.FeasibleStatus
+	type candidate struct {
+		plan sim.Plan   // coarse plan; Order carries ILP start-time schedules
+		lvl  *heuristic // granularity the plan belongs to
+	}
+	var candidates []candidate
+	if ilpSolved {
+		res.PredictedMakespan = time.Duration(sol.Objective * float64(m.horizon))
+		cp, err := m.coarsePlan(m.assignmentFromX(sol.X), sol.X, true)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, candidate{plan: cp, lvl: hILP})
+	}
+	if h.bestDev != nil {
+		if !ilpSolved {
+			res.PredictedMakespan = time.Duration(h.bestObj * float64(m.horizon))
+			if res.ILPStatus == ilp.NoSolutionStatus || res.ILPStatus == ilp.InfeasibleStatus {
+				res.ILPStatus = ilp.FeasibleStatus
+			}
+		}
+		// The global winner is already an original-granularity device
+		// vector; wrap it as a pre-expanded candidate.
+		candidates = append(candidates, candidate{plan: sim.Plan{
+			Device: append([]sim.DeviceID(nil), h.bestDev...),
+			Policy: sim.PolicyFIFO,
+		}, lvl: nil})
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("pesto: ilp %v and no heuristic incumbent: %w", sol.Status, ErrNoPlacement)
+	}
+
+	simSys := h.simSystem()
+	var bestPlan sim.Plan
+	var bestCoarse sim.Plan
+	bestMk := time.Duration(-1)
+	for _, c := range candidates {
+		cp := c.plan
+		expanded := cp.Device
+		if c.lvl != nil {
+			expanded = c.lvl.expandDevices(cp.Device)
+		}
+		variants := h.candidatePlans(expanded)
+		if c.lvl != nil && cp.Order != nil {
+			// Strict blob order implied by the coarse ILP schedule.
+			ordered, err := expand(g, c.lvl.cres, cp, true)
+			if err != nil {
+				return nil, err
+			}
+			variants = append(variants, ordered)
+		}
+		for _, cand := range variants {
+			if cand.Order == nil && opts.ScheduleFromILP {
+				// Materialize ready-queue schedules as explicit orders
+				// so downstream consumers (e.g. the runtime executor)
+				// get control dependencies either way.
+				r, err := sim.Run(g, simSys, cand)
+				if err != nil {
+					continue
+				}
+				oc, err := orderPlanByStarts(g, cand, r.Start, len(sys.Devices))
+				if err != nil {
+					continue
+				}
+				cand = oc
+			}
+			r, err := sim.Run(g, simSys, cand)
+			if err != nil {
+				continue
+			}
+			if bestMk < 0 || r.Makespan < bestMk {
+				bestMk = r.Makespan
+				bestPlan = cand
+				bestCoarse = cp
+			}
+		}
+	}
+	if bestMk < 0 {
+		return nil, fmt.Errorf("pesto: no candidate plan simulates: %w", ErrNoPlacement)
+	}
+	if !opts.ScheduleFromILP {
+		bestPlan = sim.Plan{Device: bestPlan.Device, Policy: sim.PolicyFIFO}
+	}
+	res.CoarsePlan = bestCoarse
+	res.Plan = bestPlan
+	res.SimulatedMakespan = bestMk
+	res.PlacementTime = time.Since(start)
+	return res, nil
+}
+
+// orderPlanByStarts attaches an explicit per-device order to a plan,
+// sorted by observed start times (ties broken topologically).
+func orderPlanByStarts(g *graph.Graph, plan sim.Plan, starts []time.Duration, numDevices int) (sim.Plan, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return sim.Plan{}, err
+	}
+	topoPos := make([]int, g.NumNodes())
+	for i, v := range order {
+		topoPos[v] = i
+	}
+	byDev := make(map[sim.DeviceID][]graph.NodeID)
+	for i := range plan.Device {
+		byDev[plan.Device[i]] = append(byDev[plan.Device[i]], graph.NodeID(i))
+	}
+	out := sim.Plan{Device: plan.Device, Order: make([][]graph.NodeID, numDevices)}
+	for dev, ids := range byDev {
+		sort.Slice(ids, func(a, b int) bool {
+			if starts[ids[a]] != starts[ids[b]] {
+				return starts[ids[a]] < starts[ids[b]]
+			}
+			return topoPos[ids[a]] < topoPos[ids[b]]
+		})
+		out.Order[dev] = ids
+	}
+	return out, nil
+}
+
+// assignmentFromX reads the coarse placement from an ILP solution
+// vector.
+func (m *model) assignmentFromX(x []float64) []sim.DeviceID {
+	gpus := m.sys.GPUs()
+	out := make([]sim.DeviceID, m.g.NumNodes())
+	for i, nd := range m.g.Nodes() {
+		switch nd.Kind {
+		case graph.KindGPU:
+			if x != nil && m.xVar[i] >= 0 && x[m.xVar[i]] >= 0.5 {
+				out[i] = gpus[1]
+			} else {
+				out[i] = gpus[0]
+			}
+		default:
+			out[i] = m.sys.CPUID()
+		}
+	}
+	return out
+}
+
+// coarsePlan builds a coarse-graph plan from a device assignment. With
+// fromILP and a full solution vector, the per-device order follows the
+// ILP start times; otherwise the FIFO list scheduler both orders and
+// validates the plan.
+func (m *model) coarsePlan(assign []sim.DeviceID, x []float64, fromILP bool) (sim.Plan, error) {
+	plan := sim.Plan{Device: append([]sim.DeviceID(nil), assign...)}
+	if !fromILP {
+		plan.Policy = sim.PolicyFIFO
+		return plan, nil
+	}
+	type timed struct {
+		id graph.NodeID
+		s  float64
+	}
+	topoPos := make([]int, m.g.NumNodes())
+	order, err := m.g.TopoSort()
+	if err != nil {
+		return sim.Plan{}, err
+	}
+	for i, v := range order {
+		topoPos[v] = i
+	}
+	byDev := make(map[sim.DeviceID][]timed)
+	for i := range assign {
+		s := 0.0
+		if x != nil && m.sOp[i] < len(x) {
+			s = x[m.sOp[i]]
+		}
+		byDev[assign[i]] = append(byDev[assign[i]], timed{id: graph.NodeID(i), s: s})
+	}
+	plan.Order = make([][]graph.NodeID, len(m.sys.Devices))
+	for dev, ts := range byDev {
+		sort.Slice(ts, func(a, b int) bool {
+			if ts[a].s != ts[b].s {
+				return ts[a].s < ts[b].s
+			}
+			return topoPos[ts[a].id] < topoPos[ts[b].id]
+		})
+		ids := make([]graph.NodeID, len(ts))
+		for i, t := range ts {
+			ids[i] = t.id
+		}
+		plan.Order[dev] = ids
+	}
+	return plan, nil
+}
+
+// expand lifts a coarse plan onto the original graph.
+func expand(g *graph.Graph, cres *coarsen.Result, coarse sim.Plan, withOrder bool) (sim.Plan, error) {
+	plan := sim.Plan{Device: make([]sim.DeviceID, g.NumNodes())}
+	for orig := range plan.Device {
+		plan.Device[orig] = coarse.Device[cres.CoarseOf[orig]]
+	}
+	if !withOrder || coarse.Order == nil {
+		plan.Policy = sim.PolicyFIFO
+		return plan, nil
+	}
+	plan.Order = make([][]graph.NodeID, len(coarse.Order))
+	for dev, corder := range coarse.Order {
+		for _, cid := range corder {
+			plan.Order[dev] = append(plan.Order[dev], cres.Members[cid]...)
+		}
+	}
+	return plan, nil
+}
+
+// heuristic supplies feasible incumbents to the branch and bound by
+// rounding the LP relaxation's placement variables and list-scheduling
+// the coarse graph through the simulator. Two ready-queue disciplines
+// are tried per rounding — FIFO (the TensorFlow default) and
+// cost-weighted critical-path priority (which schedules heavy ops like
+// Figure 2's F and G first) — and the better schedule becomes the
+// incumbent.
+type heuristic struct {
+	// model is set only at the ILP granularity (for x-vector interop
+	// with the branch and bound); fine-granularity heuristics leave it
+	// nil.
+	model   *model
+	cg      *graph.Graph // coarse graph at this granularity
+	sys     sim.System
+	horizon time.Duration // objective normalization unit
+	opts    Options
+	// orig and cres let the heuristic evaluate candidates on the
+	// original graph: coarse-level simulation serializes whole blobs
+	// and systematically overestimates split placements, which would
+	// bias the search towards single-GPU plans.
+	orig *graph.Graph
+	cres *coarsen.Result
+	prio []float64 // cost-weighted bottom levels of orig, lazy
+
+	// Global winner at original granularity (any source: seeds, ILP
+	// roundings, list-scheduling warm starts, refinement moves).
+	bestDev    []sim.DeviceID
+	bestObj    float64 // normalized original-graph makespan
+	bestPolicy sim.SchedulePolicy
+
+	// Refinement state at this heuristic's coarse granularity.
+	coarseBest    []sim.DeviceID
+	coarseBestObj float64
+}
+
+// seedAssignments evaluates a few deterministic placements before any
+// search runs: all-on-GPU-0, alternation by topological index (two
+// phases), a contiguous compute-balanced split (the Expert shape), and
+// a layer-contiguous split. Each goes through colocation and memory
+// repair and both schedule disciplines.
+func (h *heuristic) seedAssignments() {
+	order, err := h.cg.TopoSort()
+	if err != nil {
+		return
+	}
+	gpus := h.sys.GPUs()
+	k := len(gpus)
+	nodes := h.cg.Nodes()
+	mk := func(f func(pos int, id graph.NodeID) int) []sim.DeviceID {
+		assign := make([]sim.DeviceID, len(nodes))
+		for pos, id := range order {
+			if nodes[id].Kind == graph.KindGPU {
+				assign[id] = gpus[f(pos, id)%k]
+			} else {
+				assign[id] = h.sys.CPUID()
+			}
+		}
+		return assign
+	}
+	// Contiguous compute-balanced k-way split over the topo order.
+	var total, run time.Duration
+	for _, nd := range nodes {
+		if nd.Kind == graph.KindGPU {
+			total += nd.Cost
+		}
+	}
+	splitAt := make(map[graph.NodeID]int, len(order))
+	for _, id := range order {
+		if nodes[id].Kind != graph.KindGPU {
+			continue
+		}
+		run += nodes[id].Cost
+		idx := 0
+		if total > 0 {
+			idx = int(int64(k) * int64(run-nodes[id].Cost/2) / int64(total+1))
+		}
+		if idx >= k {
+			idx = k - 1
+		}
+		splitAt[id] = idx
+	}
+	maxLayer := 0
+	for _, nd := range nodes {
+		if nd.Layer > maxLayer {
+			maxLayer = nd.Layer
+		}
+	}
+	seeds := [][]sim.DeviceID{
+		mk(func(int, graph.NodeID) int { return 0 }),
+		mk(func(pos int, _ graph.NodeID) int { return pos % k }),
+		mk(func(pos int, _ graph.NodeID) int { return (pos / 2) % k }),
+		mk(func(_ int, id graph.NodeID) int { return splitAt[id] }),
+		mk(func(_ int, id graph.NodeID) int {
+			if maxLayer <= 0 {
+				return 0
+			}
+			return nodes[id].Layer * k / (maxLayer + 1)
+		}),
+	}
+	for _, assign := range seeds {
+		h.repairColocAssign(assign)
+		h.repairMemory(assign)
+		h.evalAssign(assign)
+	}
+}
+
+// seedListScheduling warm-starts the search with greedy
+// earliest-start-time placements computed on the original graph (with
+// and without the SCT favorite-child bias), projected to this
+// granularity.
+func (h *heuristic) seedListScheduling() {
+	for _, sct := range []bool{false, true} {
+		dev, err := greedyETF(h.orig, h.simSystem(), sct)
+		if err != nil {
+			continue
+		}
+		h.adoptOriginal(dev)
+	}
+}
+
+// greedyETF builds an earliest-task-first placement: repeatedly assign
+// the ready operation that can start soonest on a memory-feasible
+// device, accounting for communication from already-placed parents.
+// With sct, each task's largest-tensor successor is biased towards the
+// parent's device.
+func greedyETF(g *graph.Graph, sys sim.System, sct bool) ([]sim.DeviceID, error) {
+	gpus := sys.GPUs()
+	n := g.NumNodes()
+	nodes := g.Nodes()
+	dev := make([]sim.DeviceID, n)
+	fav := make([]graph.NodeID, n)
+	for i := range fav {
+		fav[i] = -1
+	}
+	if sct {
+		for i := 0; i < n; i++ {
+			var best int64 = -1
+			for _, e := range g.Succ(graph.NodeID(i)) {
+				if e.Bytes > best {
+					best = e.Bytes
+					fav[i] = e.To
+				}
+			}
+		}
+	}
+	devFree := make(map[sim.DeviceID]time.Duration)
+	memUsed := make(map[sim.DeviceID]int64)
+	finish := make([]time.Duration, n)
+	pending := make([]int, n)
+	var ready []graph.NodeID
+	for i := 0; i < n; i++ {
+		pending[i] = g.InDegree(graph.NodeID(i))
+		if pending[i] == 0 {
+			ready = append(ready, graph.NodeID(i))
+		}
+	}
+	est := func(id graph.NodeID, d sim.DeviceID) time.Duration {
+		t := devFree[d]
+		for _, e := range g.Pred(id) {
+			arr := finish[e.From]
+			if dev[e.From] != d {
+				arr += sys.TransferTime(dev[e.From], d, e.Bytes)
+			}
+			if arr > t {
+				t = arr
+			}
+		}
+		return t
+	}
+	capOf := func(d sim.DeviceID) int64 {
+		dv, _ := sys.Device(d)
+		return dv.Memory
+	}
+	for len(ready) > 0 {
+		sort.Slice(ready, func(a, b int) bool { return ready[a] < ready[b] })
+		bestI := -1
+		var bestDev sim.DeviceID
+		bestScore := time.Duration(math.MaxInt64)
+		for ri, id := range ready {
+			nd := nodes[id]
+			cands := gpus
+			if nd.Kind != graph.KindGPU {
+				cands = []sim.DeviceID{sys.CPUID()}
+			}
+			for _, d := range cands {
+				if c := capOf(d); c > 0 && nd.Kind == graph.KindGPU && memUsed[d]+nd.Memory > c {
+					continue
+				}
+				score := est(id, d)
+				if sct {
+					for _, e := range g.Pred(id) {
+						if fav[e.From] == id && dev[e.From] == d {
+							score -= score / 8
+						}
+					}
+				}
+				if score < bestScore {
+					bestScore, bestI, bestDev = score, ri, d
+				}
+			}
+		}
+		if bestI < 0 {
+			return nil, fmt.Errorf("greedy etf: no device fits any ready op: %w", sim.ErrOOM)
+		}
+		id := ready[bestI]
+		ready = append(ready[:bestI], ready[bestI+1:]...)
+		nd := nodes[id]
+		startT := est(id, bestDev)
+		finish[id] = startT + nd.Cost
+		devFree[bestDev] = finish[id]
+		dev[id] = bestDev
+		if nd.Kind == graph.KindGPU {
+			memUsed[bestDev] += nd.Memory
+		}
+		for _, e := range g.Succ(id) {
+			pending[e.To]--
+			if pending[e.To] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	return dev, nil
+}
+
+// tryIncumbent implements ilp.Options.Incumbent. It requires the
+// heuristic to be bound to the ILP model.
+func (h *heuristic) tryIncumbent(relaxed []float64) ([]float64, float64, bool) {
+	if h.model == nil {
+		return nil, 0, false
+	}
+	assign := h.model.assignmentFromX(relaxed)
+	h.repairColoc(assign, relaxed)
+	h.repairMemory(assign)
+	if _, ok := h.evalAssign(assign); !ok {
+		return nil, 0, false
+	}
+	// Report only the objective back to the B&B for pruning; the
+	// placement layer keeps the plan itself. The returned vector just
+	// carries the x values so assignmentFromX could reproduce it.
+	x := make([]float64, h.model.lp.NumVars())
+	gpus := h.sys.GPUs()
+	for i := range h.model.xVar {
+		if h.model.xVar[i] >= 0 && h.coarseBest[i] == gpus[1] {
+			x[h.model.xVar[i]] = 1
+		}
+	}
+	return x, h.coarseBestObj, true
+}
+
+// evalOriginal simulates an original-granularity device vector under
+// both schedule disciplines, recording the global best. It reports the
+// vector's own best objective.
+func (h *heuristic) evalOriginal(dev []sim.DeviceID) (float64, bool) {
+	sys := h.simSystem()
+	obj, ok := math.Inf(1), false
+	for _, plan := range h.candidatePlans(dev) {
+		res, err := sim.Run(h.orig, sys, plan)
+		if err != nil {
+			continue
+		}
+		o := float64(res.Makespan) / float64(h.horizon)
+		if o < obj {
+			obj = o
+		}
+		if h.bestDev == nil || o < h.bestObj {
+			h.bestDev = append([]sim.DeviceID(nil), dev...)
+			h.bestObj = o
+			h.bestPolicy = plan.Policy
+		}
+		ok = true
+	}
+	return obj, ok
+}
+
+// evalAssign expands a coarse assignment onto the original graph,
+// evaluates it, and records it as the refinement starting point when it
+// improves on the coarse-level best.
+func (h *heuristic) evalAssign(assign []sim.DeviceID) (float64, bool) {
+	obj, ok := h.evalOriginal(h.expandDevices(assign))
+	if ok && (h.coarseBest == nil || obj < h.coarseBestObj) {
+		h.coarseBest = append([]sim.DeviceID(nil), assign...)
+		h.coarseBestObj = obj
+	}
+	return obj, ok
+}
+
+// adoptOriginal projects an original-graph device vector onto this
+// heuristic's coarse granularity (majority compute time per coarse
+// node) and evaluates it, letting a coarser level's result seed a finer
+// refinement.
+func (h *heuristic) adoptOriginal(devices []sim.DeviceID) {
+	h.evalOriginal(devices)
+	gpus := h.sys.GPUs()
+	assign := make([]sim.DeviceID, h.cg.NumNodes())
+	nodes := h.orig.Nodes()
+	for c, ms := range h.cres.Members {
+		var w0, w1 time.Duration
+		kind := graph.KindCPU
+		for _, orig := range ms {
+			kind = nodes[orig].Kind
+			if kind != graph.KindGPU {
+				break
+			}
+			w := nodes[orig].Cost + 1
+			if devices[orig] == gpus[1] {
+				w1 += w
+			} else {
+				w0 += w
+			}
+		}
+		switch {
+		case kind != graph.KindGPU:
+			assign[c] = h.sys.CPUID()
+		case w1 > w0:
+			assign[c] = gpus[1]
+		default:
+			assign[c] = gpus[0]
+		}
+	}
+	h.evalAssign(assign)
+}
+
+// expandDevices lifts a coarse device assignment to the original nodes.
+func (h *heuristic) expandDevices(assign []sim.DeviceID) []sim.DeviceID {
+	out := make([]sim.DeviceID, h.orig.NumNodes())
+	for i := range out {
+		out[i] = assign[h.cres.CoarseOf[i]]
+	}
+	return out
+}
+
+// refine hill-climbs the best assignment by flipping one coarse node
+// (or one colocation group) at a time, accepting improvements, until no
+// move helps or the deadline passes.
+func (h *heuristic) refine(ctx context.Context, deadline time.Time) {
+	if h.coarseBest == nil {
+		return
+	}
+	gpus := h.sys.GPUs()
+	nodes := h.cg.Nodes()
+	// Group flips by colocation so groups move wholesale.
+	groups := make(map[string][]graph.NodeID)
+	var singles []graph.NodeID
+	for _, nd := range nodes {
+		if nd.Kind != graph.KindGPU {
+			continue
+		}
+		if nd.Coloc != "" {
+			groups[nd.Coloc] = append(groups[nd.Coloc], nd.ID)
+		} else {
+			singles = append(singles, nd.ID)
+		}
+	}
+	// Highest-cost movers first: they change the balance the most.
+	sort.Slice(singles, func(a, b int) bool {
+		if nodes[singles[a]].Cost != nodes[singles[b]].Cost {
+			return nodes[singles[a]].Cost > nodes[singles[b]].Cost
+		}
+		return singles[a] < singles[b]
+	})
+	moves := make([][]graph.NodeID, 0, len(singles)+len(groups))
+	for _, id := range singles {
+		moves = append(moves, []graph.NodeID{id})
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		moves = append(moves, groups[k])
+	}
+
+	improved := true
+	for improved {
+		improved = false
+		for _, mv := range moves {
+			for _, target := range gpus {
+				if ctx.Err() != nil || time.Now().After(deadline) {
+					return
+				}
+				if h.coarseBest[mv[0]] == target {
+					continue
+				}
+				cand := append([]sim.DeviceID(nil), h.coarseBest...)
+				for _, id := range mv {
+					cand[id] = target
+				}
+				before := h.coarseBestObj
+				if _, ok := h.evalAssign(cand); ok && h.coarseBestObj < before-1e-12 {
+					improved = true
+				}
+			}
+		}
+	}
+}
+
+// simSystem is the world model the heuristics evaluate against: memory
+// capacities are lifted when the ILP's memory constraints are disabled,
+// and links become infinitely parallel when the congestion constraints
+// are disabled — the planner then believes what a congestion-free ILP
+// believes (the Figure 5 ablation), even though the real system still
+// serializes transfers.
+func (h *heuristic) simSystem() sim.System {
+	sys := h.sys
+	if h.opts.DisableCongestion {
+		// The congestion-blind world model of prior DAG schedulers the
+		// paper calls out (§3.2.2): unlimited link bandwidth AND
+		// communication much faster than computation.
+		sys.CongestionFree = true
+		sys.Comm = sys.Comm.Scaled(1e6)
+	}
+	if h.opts.DisableMemory {
+		sys.Devices = append([]sim.Device(nil), h.sys.Devices...)
+		for i := range sys.Devices {
+			sys.Devices[i].Memory = 0
+		}
+	}
+	return sys
+}
+
+// candidatePlans returns the original-graph schedules tried for one
+// expanded assignment.
+func (h *heuristic) candidatePlans(expanded []sim.DeviceID) []sim.Plan {
+	return []sim.Plan{
+		{Device: expanded, Policy: sim.PolicyFIFO},
+		{Device: expanded, Policy: sim.PolicyPriority, Priority: h.bottomLevels()},
+	}
+}
+
+// bottomLevels computes (and caches) each original node's cost-weighted
+// longest path to a sink, the classic list-scheduling priority.
+func (h *heuristic) bottomLevels() []float64 {
+	if h.prio != nil {
+		return h.prio
+	}
+	order, err := h.orig.TopoSort()
+	if err != nil {
+		h.prio = make([]float64, h.orig.NumNodes())
+		return h.prio
+	}
+	nodes := h.orig.Nodes()
+	bl := make([]float64, len(nodes))
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, e := range h.orig.Succ(v) {
+			if bl[e.To] > bl[v] {
+				bl[v] = bl[e.To]
+			}
+		}
+		bl[v] += float64(nodes[v].Cost)
+	}
+	h.prio = bl
+	return bl
+}
+
+// repairColoc forces colocation groups onto one GPU (majority of the
+// fractional mass). Requires the ILP model binding.
+func (h *heuristic) repairColoc(assign []sim.DeviceID, relaxed []float64) {
+	gpus := h.sys.GPUs()
+	groupMass := make(map[string][2]float64)
+	for i, nd := range h.cg.Nodes() {
+		if nd.Kind != graph.KindGPU || nd.Coloc == "" || h.model.xVar[i] < 0 {
+			continue
+		}
+		mass := groupMass[nd.Coloc]
+		v := relaxed[h.model.xVar[i]]
+		mass[0] += 1 - v
+		mass[1] += v
+		groupMass[nd.Coloc] = mass
+	}
+	for i, nd := range h.cg.Nodes() {
+		if nd.Kind != graph.KindGPU || nd.Coloc == "" {
+			continue
+		}
+		mass := groupMass[nd.Coloc]
+		if mass[1] > mass[0] {
+			assign[i] = gpus[1]
+		} else {
+			assign[i] = gpus[0]
+		}
+	}
+}
+
+// repairColocAssign forces colocation groups onto the device of the
+// group's compute-time majority, for assignment-based seeds.
+func (h *heuristic) repairColocAssign(assign []sim.DeviceID) {
+	gpus := h.sys.GPUs()
+	groupMass := make(map[string]map[sim.DeviceID]time.Duration)
+	for _, nd := range h.cg.Nodes() {
+		if nd.Kind != graph.KindGPU || nd.Coloc == "" {
+			continue
+		}
+		if groupMass[nd.Coloc] == nil {
+			groupMass[nd.Coloc] = make(map[sim.DeviceID]time.Duration, len(gpus))
+		}
+		groupMass[nd.Coloc][assign[nd.ID]] += nd.Cost + 1
+	}
+	winner := make(map[string]sim.DeviceID, len(groupMass))
+	for grp, mass := range groupMass {
+		best := gpus[0]
+		for _, d := range gpus {
+			if mass[d] > mass[best] {
+				best = d
+			}
+		}
+		winner[grp] = best
+	}
+	for _, nd := range h.cg.Nodes() {
+		if nd.Kind != graph.KindGPU || nd.Coloc == "" {
+			continue
+		}
+		assign[nd.ID] = winner[nd.Coloc]
+	}
+}
+
+// repairMemory greedily moves the largest-memory movable nodes off an
+// over-capacity GPU.
+func (h *heuristic) repairMemory(assign []sim.DeviceID) {
+	if h.opts.DisableMemory {
+		return
+	}
+	gpus := h.sys.GPUs()
+	nodes := h.cg.Nodes()
+	use := map[sim.DeviceID]int64{}
+	for i, nd := range nodes {
+		if nd.Kind == graph.KindGPU {
+			use[assign[i]] += nd.Memory
+		}
+	}
+	for _, from := range gpus {
+		dev, _ := h.sys.Device(from)
+		if dev.Memory <= 0 {
+			continue
+		}
+		leastLoaded := func() sim.DeviceID {
+			to := from
+			for _, g2 := range gpus {
+				if g2 == from {
+					continue
+				}
+				if to == from || use[g2] < use[to] {
+					to = g2
+				}
+			}
+			return to
+		}
+		for use[from] > dev.Memory {
+			to := leastLoaded()
+			if to == from {
+				return
+			}
+			// Move the largest non-colocated node (coloc groups move
+			// wholesale, skipped here for simplicity — groups are
+			// typically small).
+			bestIdx := -1
+			var bestMem int64
+			for i, nd := range nodes {
+				if nd.Kind == graph.KindGPU && assign[i] == from && nd.Coloc == "" && nd.Memory > bestMem {
+					bestMem = nd.Memory
+					bestIdx = i
+				}
+			}
+			if bestIdx < 0 {
+				return // nothing movable; CheckMemory will reject
+			}
+			assign[bestIdx] = to
+			use[from] -= bestMem
+			use[to] += bestMem
+		}
+	}
+}
+
+// finishILPOnly extracts the plan straight from the branch-and-bound
+// solution: placement from the x variables and a strict per-device
+// order from the ILP start times. No heuristics intervene, so the
+// result reflects the ILP's constraint set exactly (ablation mode).
+func finishILPOnly(g *graph.Graph, sys sim.System, m *model, cres *coarsen.Result, sol ilp.Solution, opts Options, start time.Time) (*Result, error) {
+	if sol.Status != ilp.OptimalStatus && sol.Status != ilp.FeasibleStatus {
+		return nil, fmt.Errorf("pesto ilp-only: %v: %w", sol.Status, ErrNoPlacement)
+	}
+	res := &Result{
+		CoarseSize:        cres.Coarse.NumNodes(),
+		ILPStatus:         sol.Status,
+		Gap:               sol.Gap,
+		Nodes:             sol.Nodes,
+		CoarsenIterations: cres.Iterations,
+		PredictedMakespan: time.Duration(sol.Objective * float64(m.horizon)),
+	}
+	cp, err := m.coarsePlan(m.assignmentFromX(sol.X), sol.X, opts.ScheduleFromILP)
+	if err != nil {
+		return nil, err
+	}
+	res.CoarsePlan = cp
+	plan, err := expand(g, cres, cp, opts.ScheduleFromILP)
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = plan
+	if r, err := sim.Run(g, sys, plan); err == nil {
+		res.SimulatedMakespan = r.Makespan
+	}
+	res.PlacementTime = time.Since(start)
+	return res, nil
+}

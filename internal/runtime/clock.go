@@ -1,0 +1,195 @@
+// Package runtime is a concurrent mini-executor for placed DNN graphs:
+// one goroutine per device, FCFS link queues, and control-dependency
+// enforcement — a stand-in for the modified TensorFlow runtime of §4 of
+// the Pesto paper (placement via set_assigned_device, scheduling via
+// add_control_dependency). Time is virtual: a deadlock-detecting
+// discrete clock advances only when every worker is blocked, so a
+// multi-minute training step simulates in microseconds of wall time.
+//
+// The package exists to validate internal/sim the way §5.4 validates the
+// paper's simulator against its implementation: the same plan is run
+// through both engines and the per-step times are compared (the paper
+// reports 0.1–11.3% disagreement; see internal/experiments).
+package runtime
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrDeadlock is returned when every worker is blocked on futures that
+// can never complete — an invalid schedule.
+var ErrDeadlock = errors.New("virtual clock deadlock: all workers blocked")
+
+// Clock is a virtual clock shared by a fixed set of worker goroutines.
+// Workers advance time cooperatively: when all registered workers are
+// sleeping or blocked, the clock jumps to the earliest wake-up.
+type Clock struct {
+	mu       sync.Mutex
+	now      time.Duration
+	runnable int
+	sleepers sleeperHeap
+	blocked  int // workers waiting on futures
+	dead     bool
+	deadCh   chan struct{}
+	seq      int
+}
+
+type sleeper struct {
+	wake time.Duration
+	ch   chan time.Duration
+	seq  int
+}
+
+type sleeperHeap []sleeper
+
+func (h sleeperHeap) Len() int { return len(h) }
+func (h sleeperHeap) Less(i, j int) bool {
+	if h[i].wake != h[j].wake {
+		return h[i].wake < h[j].wake
+	}
+	return h[i].seq < h[j].seq
+}
+func (h sleeperHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *sleeperHeap) Push(x interface{}) { *h = append(*h, x.(sleeper)) }
+func (h *sleeperHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewClock creates a clock expecting the given number of worker
+// goroutines.
+func NewClock(workers int) *Clock {
+	return &Clock{runnable: workers, deadCh: make(chan struct{})}
+}
+
+// Now reports the current virtual time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep blocks the calling worker for d of virtual time.
+func (c *Clock) Sleep(d time.Duration) error {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	ch := make(chan time.Duration, 1)
+	c.seq++
+	heap.Push(&c.sleepers, sleeper{wake: c.now + d, ch: ch, seq: c.seq})
+	c.runnable--
+	c.maybeAdvanceLocked()
+	dead := c.deadCh
+	c.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-dead:
+		return ErrDeadlock
+	}
+}
+
+// Exit permanently removes the calling worker from the clock's
+// accounting (call when a device worker finishes its schedule).
+func (c *Clock) Exit() {
+	c.mu.Lock()
+	c.runnable--
+	c.maybeAdvanceLocked()
+	c.mu.Unlock()
+}
+
+// maybeAdvanceLocked advances time when no worker is runnable. Declares
+// deadlock when nothing can ever run again.
+func (c *Clock) maybeAdvanceLocked() {
+	if c.runnable > 0 || c.dead {
+		return
+	}
+	if c.sleepers.Len() == 0 {
+		if c.blocked > 0 {
+			c.dead = true
+			close(c.deadCh)
+		}
+		return
+	}
+	// Jump to the earliest wake time and release every sleeper due then.
+	next := c.sleepers[0].wake
+	c.now = next
+	for c.sleepers.Len() > 0 && c.sleepers[0].wake == next {
+		s := heap.Pop(&c.sleepers).(sleeper)
+		c.runnable++
+		s.ch <- c.now
+	}
+}
+
+// future is a one-shot event completed at a virtual timestamp.
+type future struct {
+	mu    sync.Mutex
+	done  bool
+	at    time.Duration
+	waits []chan time.Duration
+}
+
+// complete marks the future done at virtual time t and wakes waiters.
+func (f *future) complete(c *Clock, t time.Duration) {
+	f.mu.Lock()
+	if f.done {
+		f.mu.Unlock()
+		return
+	}
+	f.done = true
+	f.at = t
+	waits := f.waits
+	f.waits = nil
+	f.mu.Unlock()
+	c.mu.Lock()
+	for range waits {
+		c.blocked--
+		c.runnable++
+	}
+	c.mu.Unlock()
+	for _, ch := range waits {
+		ch <- t
+	}
+}
+
+// wait blocks the calling worker until the future completes and returns
+// max(callerNow, completion time).
+func (f *future) wait(c *Clock, now time.Duration) (time.Duration, error) {
+	f.mu.Lock()
+	if f.done {
+		at := f.at
+		f.mu.Unlock()
+		if at > now {
+			return at, nil
+		}
+		return now, nil
+	}
+	ch := make(chan time.Duration, 1)
+	f.waits = append(f.waits, ch)
+	f.mu.Unlock()
+
+	c.mu.Lock()
+	c.blocked++
+	c.runnable--
+	c.maybeAdvanceLocked()
+	dead := c.deadCh
+	c.mu.Unlock()
+
+	select {
+	case at := <-ch:
+		if at > now {
+			return at, nil
+		}
+		return now, nil
+	case <-dead:
+		return 0, fmt.Errorf("waiting for dependency: %w", ErrDeadlock)
+	}
+}

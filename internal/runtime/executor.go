@@ -1,0 +1,248 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pesto/internal/graph"
+	"pesto/internal/sim"
+)
+
+// Options configures an execution.
+type Options struct {
+	// NoiseSigma is the standard deviation of multiplicative Gaussian
+	// noise applied to each operation's compute time, modelling the
+	// small run-to-run variability the paper measures in Figure 4a.
+	// Zero runs noise-free.
+	NoiseSigma float64
+	// Seed seeds the noise generator; executions with equal seeds and
+	// iteration numbers reproduce exactly.
+	Seed int64
+	// Iteration distinguishes repeated training steps so noise differs
+	// across steps of a profiling run.
+	Iteration int
+}
+
+// Result reports one executed training step.
+type Result struct {
+	Makespan      time.Duration
+	Start, Finish []time.Duration
+}
+
+// transferReq is a tensor transfer handed to a link worker.
+type transferReq struct {
+	edge    graph.Edge
+	enqueue time.Duration
+}
+
+// linkQueue is a clock-aware FIFO between device workers and a link
+// worker. Pop blocks through the virtual clock so deadlock detection and
+// time advancement keep working while the link idles.
+type linkQueue struct {
+	mu     sync.Mutex
+	items  []transferReq
+	waiter chan transferReq
+}
+
+func (q *linkQueue) push(c *Clock, r transferReq) {
+	q.mu.Lock()
+	if q.waiter != nil {
+		w := q.waiter
+		q.waiter = nil
+		q.mu.Unlock()
+		c.mu.Lock()
+		c.blocked--
+		c.runnable++
+		c.mu.Unlock()
+		w <- r
+		return
+	}
+	q.items = append(q.items, r)
+	q.mu.Unlock()
+}
+
+func (q *linkQueue) pop(c *Clock) (transferReq, error) {
+	q.mu.Lock()
+	if len(q.items) > 0 {
+		r := q.items[0]
+		q.items = q.items[1:]
+		q.mu.Unlock()
+		return r, nil
+	}
+	ch := make(chan transferReq, 1)
+	q.waiter = ch
+	q.mu.Unlock()
+
+	c.mu.Lock()
+	c.blocked++
+	c.runnable--
+	c.maybeAdvanceLocked()
+	dead := c.deadCh
+	c.mu.Unlock()
+
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-dead:
+		return transferReq{}, fmt.Errorf("link idle: %w", ErrDeadlock)
+	}
+}
+
+// Execute runs one training step of g under plan on sys. The plan must
+// carry an explicit per-device Order (the control-dependency schedule
+// Pesto installs); ready-queue plans belong in internal/sim.
+func Execute(g *graph.Graph, sys sim.System, plan sim.Plan, opts Options) (Result, error) {
+	if err := plan.Validate(g, sys); err != nil {
+		return Result{}, err
+	}
+	if plan.Order == nil {
+		return Result{}, fmt.Errorf("runtime requires an explicit schedule order: %w", sim.ErrBadPlacement)
+	}
+	if err := plan.CheckMemory(g, sys); err != nil {
+		return Result{}, err
+	}
+	n := g.NumNodes()
+
+	// Futures: one per node (producer finished) is not enough — each
+	// edge completes at a different time when transfers are involved,
+	// so allocate one future per edge, plus links.
+	edgeFut := make(map[[2]graph.NodeID]*future, g.NumEdges())
+	for _, e := range g.Edges() {
+		edgeFut[[2]graph.NodeID{e.From, e.To}] = &future{}
+	}
+
+	// Directional links that will carry at least one transfer, with
+	// their expected transfer counts.
+	type linkKey [2]sim.DeviceID
+	expect := make(map[linkKey]int)
+	for _, e := range g.Edges() {
+		from, to := plan.Device[e.From], plan.Device[e.To]
+		if from != to {
+			expect[linkKey{from, to}]++
+		}
+	}
+	queues := make(map[linkKey]*linkQueue, len(expect))
+	for k := range expect {
+		queues[k] = &linkQueue{}
+	}
+
+	numWorkers := len(sys.Devices) + len(queues)
+	clock := NewClock(numWorkers)
+
+	res := Result{
+		Start:  make([]time.Duration, n),
+		Finish: make([]time.Duration, n),
+	}
+	for i := range res.Start {
+		res.Start[i] = -1
+		res.Finish[i] = -1
+	}
+
+	errCh := make(chan error, numWorkers)
+	var wg sync.WaitGroup
+
+	// Link workers.
+	for k, q := range queues {
+		k, q := k, q
+		count := expect[k]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer clock.Exit()
+			for i := 0; i < count; i++ {
+				req, err := q.pop(clock)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				dur := sys.TransferTime(k[0], k[1], req.edge.Bytes)
+				if err := clock.Sleep(dur); err != nil {
+					errCh <- err
+					return
+				}
+				edgeFut[[2]graph.NodeID{req.edge.From, req.edge.To}].complete(clock, clock.Now())
+			}
+		}()
+	}
+
+	// Device workers.
+	for d := range sys.Devices {
+		devID := sim.DeviceID(d)
+		var order []graph.NodeID
+		if d < len(plan.Order) {
+			order = plan.Order[d]
+		}
+		dev := sys.Devices[d]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer clock.Exit()
+			now := time.Duration(0)
+			for _, id := range order {
+				// Wait for every input edge's data.
+				for _, e := range g.Pred(id) {
+					t, err := edgeFut[[2]graph.NodeID{e.From, e.To}].wait(clock, now)
+					if err != nil {
+						errCh <- fmt.Errorf("op %d: %w", id, err)
+						return
+					}
+					now = t
+				}
+				nd, _ := g.Node(id)
+				dur := opDuration(nd, dev.Speed, opts)
+				res.Start[id] = now
+				if err := clock.Sleep(dur); err != nil {
+					errCh <- fmt.Errorf("op %d: %w", id, err)
+					return
+				}
+				now = clock.Now()
+				res.Finish[id] = now
+				// Publish outputs.
+				for _, e := range g.Succ(id) {
+					target := plan.Device[e.To]
+					if target == devID {
+						edgeFut[[2]graph.NodeID{e.From, e.To}].complete(clock, now)
+						continue
+					}
+					queues[linkKey{devID, target}].push(clock, transferReq{edge: e, enqueue: now})
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		if res.Finish[i] < 0 {
+			return Result{}, fmt.Errorf("op %d never executed: %w", i, ErrDeadlock)
+		}
+		if res.Finish[i] > res.Makespan {
+			res.Makespan = res.Finish[i]
+		}
+	}
+	return res, nil
+}
+
+// opDuration computes an operation's (possibly noisy) execution time.
+func opDuration(nd graph.Node, speed float64, opts Options) time.Duration {
+	if speed <= 0 {
+		speed = 1
+	}
+	d := float64(nd.Cost) / speed
+	if opts.NoiseSigma > 0 {
+		const mix1, mix2 = 0x1E3779B97F4A7C15, 0x2545F4914F6CDD1D
+		rng := rand.New(rand.NewSource(opts.Seed ^ (int64(nd.ID)+1)*mix1 ^ int64(opts.Iteration)*mix2))
+		d *= 1 + opts.NoiseSigma*rng.NormFloat64()
+		if d < 0 {
+			d = 0
+		}
+	}
+	return time.Duration(d)
+}

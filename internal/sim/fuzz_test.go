@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"pesto/internal/graph"
+)
+
+// FuzzRunNeverPanics drives the simulator with arbitrary structured
+// inputs (graph shape + placement bytes): every outcome must be either
+// a clean error or a result satisfying basic invariants — never a panic
+// or a hang.
+func FuzzRunNeverPanics(f *testing.F) {
+	f.Add(uint8(3), uint8(2), []byte{0, 1, 2})
+	f.Add(uint8(5), uint8(1), []byte{1, 1, 1, 1, 1})
+	f.Add(uint8(4), uint8(3), []byte{9, 0, 1, 2})
+	f.Add(uint8(0), uint8(2), []byte{})
+	f.Fuzz(func(t *testing.T, n, gpus uint8, placement []byte) {
+		if n > 24 {
+			n = 24
+		}
+		if gpus > 4 {
+			gpus = 4
+		}
+		g := graph.New(int(n))
+		for i := 0; i < int(n); i++ {
+			kind := graph.KindGPU
+			if i%5 == 4 {
+				kind = graph.KindCPU
+			}
+			g.AddNode(graph.Node{
+				Name: "op", Kind: kind,
+				Cost:   time.Duration(1+i) * time.Microsecond,
+				Memory: int64(i) << 10,
+			})
+		}
+		// Deterministic forward edges derived from the sizes.
+		for i := 0; i+1 < int(n); i++ {
+			_ = g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), int64(i)<<8)
+			if i+3 < int(n) {
+				_ = g.AddEdge(graph.NodeID(i), graph.NodeID(i+3), 64)
+			}
+		}
+		sys := NewSystem(int(gpus), 16<<30)
+		dev := make([]DeviceID, int(n))
+		for i := range dev {
+			b := byte(0)
+			if i < len(placement) {
+				b = placement[i]
+			}
+			dev[i] = DeviceID(int(b) % (int(gpus) + 2)) // may be invalid on purpose
+		}
+		res, err := Run(g, sys, Plan{Device: dev})
+		if err != nil {
+			return // rejection is a valid outcome
+		}
+		if res.Makespan < 0 {
+			t.Fatal("negative makespan")
+		}
+		for i := 0; i < int(n); i++ {
+			if res.Finish[i] < res.Start[i] {
+				t.Fatalf("op %d finishes before it starts", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"pesto/internal/graph"
+)
+
+// TransferEvent records one inter-device tensor transfer for timeline
+// analysis (the Figure 5 Gantt charts).
+type TransferEvent struct {
+	Edge     graph.Edge
+	From, To DeviceID
+	Enqueue  time.Duration // when the producer finished
+	Start    time.Duration // when the FCFS link began serving it
+	Finish   time.Duration
+}
+
+// Queued reports how long the transfer waited behind others on its link
+// — the congestion Pesto's ILP constraints stagger away.
+func (t TransferEvent) Queued() time.Duration { return t.Start - t.Enqueue }
+
+// Result is the outcome of simulating one training step.
+type Result struct {
+	// Makespan is the per-step training time C_max.
+	Makespan time.Duration
+	// Start and Finish give per-node execution windows.
+	Start, Finish []time.Duration
+	// DeviceBusy is the total compute time per device.
+	DeviceBusy []time.Duration
+	// Transfers lists every inter-device transfer in link-service
+	// order.
+	Transfers []TransferEvent
+	// LinkBusy is the total service time per directional link.
+	LinkBusy map[[2]DeviceID]time.Duration
+}
+
+// Utilization reports DeviceBusy/Makespan for a device.
+func (r Result) Utilization(d DeviceID) float64 {
+	if r.Makespan <= 0 || int(d) >= len(r.DeviceBusy) {
+		return 0
+	}
+	return float64(r.DeviceBusy[d]) / float64(r.Makespan)
+}
+
+// MaxQueueing returns the largest per-transfer queueing delay observed.
+func (r Result) MaxQueueing() time.Duration {
+	var m time.Duration
+	for _, t := range r.Transfers {
+		if q := t.Queued(); q > m {
+			m = q
+		}
+	}
+	return m
+}
+
+type eventKind int
+
+const (
+	evOpDone eventKind = iota + 1
+	evTransferDone
+)
+
+type event struct {
+	t    time.Duration
+	seq  int
+	kind eventKind
+	node graph.NodeID // op that finished (evOpDone)
+	edge graph.Edge   // transfer that finished (evTransferDone)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type readyOp struct {
+	id      graph.NodeID
+	readyAt time.Duration
+	seq     int
+}
+
+type deviceState struct {
+	busyUntil time.Duration
+	running   graph.NodeID // -1 when idle
+	orderPos  int          // cursor into Plan.Order for strict schedules
+	ready     []readyOp    // ready set for policy scheduling
+}
+
+// Run simulates one training step of g on sys under plan. It validates
+// the plan and the memory constraints first, returning ErrOOM when a
+// device's cumulative footprint exceeds its capacity.
+func Run(g *graph.Graph, sys System, plan Plan) (Result, error) {
+	if err := plan.Validate(g, sys); err != nil {
+		return Result{}, err
+	}
+	if err := plan.CheckMemory(g, sys); err != nil {
+		return Result{}, err
+	}
+	n := g.NumNodes()
+	res := Result{
+		Start:      make([]time.Duration, n),
+		Finish:     make([]time.Duration, n),
+		DeviceBusy: make([]time.Duration, len(sys.Devices)),
+		LinkBusy:   make(map[[2]DeviceID]time.Duration),
+	}
+	for i := range res.Start {
+		res.Start[i] = -1
+		res.Finish[i] = -1
+	}
+
+	policy := plan.Policy
+	if policy == 0 {
+		policy = PolicyFIFO
+	}
+	rng := rand.New(rand.NewSource(plan.Seed))
+
+	pendingDeps := make([]int, n)
+	for i := 0; i < n; i++ {
+		pendingDeps[i] = g.InDegree(graph.NodeID(i))
+	}
+	readyAt := make([]time.Duration, n) // max over dep-arrival times
+
+	devs := make([]deviceState, len(sys.Devices))
+	for i := range devs {
+		devs[i].running = -1
+	}
+	linkFree := make(map[[2]DeviceID]time.Duration)
+
+	var evq eventHeap
+	seq := 0
+	push := func(e event) {
+		e.seq = seq
+		seq++
+		heap.Push(&evq, e)
+	}
+
+	executed := 0
+
+	markReady := func(id graph.NodeID, now time.Duration) {
+		d := &devs[plan.Device[id]]
+		d.ready = append(d.ready, readyOp{id: id, readyAt: now, seq: seq})
+	}
+
+	// pickReady removes and returns the next op for a policy-scheduled
+	// device, or -1 when none is ready.
+	pickReady := func(d *deviceState) graph.NodeID {
+		if len(d.ready) == 0 {
+			return -1
+		}
+		idx := 0
+		switch policy {
+		case PolicyFIFO:
+			for i := 1; i < len(d.ready); i++ {
+				a, b := d.ready[i], d.ready[idx]
+				if a.readyAt < b.readyAt || (a.readyAt == b.readyAt && a.id < b.id) {
+					idx = i
+				}
+			}
+		case PolicyRandom:
+			idx = rng.Intn(len(d.ready))
+		case PolicyPriority:
+			for i := 1; i < len(d.ready); i++ {
+				a, b := d.ready[i], d.ready[idx]
+				pa, pb := plan.Priority[a.id], plan.Priority[b.id]
+				if pa > pb || (pa == pb && a.id < b.id) {
+					idx = i
+				}
+			}
+		}
+		id := d.ready[idx].id
+		d.ready = append(d.ready[:idx], d.ready[idx+1:]...)
+		return id
+	}
+
+	startOp := func(devID DeviceID, id graph.NodeID, now time.Duration) {
+		d := &devs[devID]
+		dev := sys.Devices[devID]
+		nd, _ := g.Node(id)
+		speed := dev.Speed
+		if speed <= 0 {
+			speed = 1
+		}
+		dur := time.Duration(math.Round(float64(nd.Cost) / speed))
+		d.running = id
+		d.busyUntil = now + dur
+		res.Start[id] = now
+		res.DeviceBusy[devID] += dur
+		push(event{t: now + dur, kind: evOpDone, node: id})
+	}
+
+	// dispatch tries to start work on a device at the given time.
+	dispatch := func(devID DeviceID, now time.Duration) {
+		d := &devs[devID]
+		if d.running >= 0 {
+			return
+		}
+		if plan.Order != nil && int(devID) < len(plan.Order) && plan.Order[devID] != nil {
+			order := plan.Order[devID]
+			if d.orderPos >= len(order) {
+				return
+			}
+			next := order[d.orderPos]
+			if pendingDeps[next] > 0 || readyAt[next] > now {
+				return // strict schedule: wait for the designated op
+			}
+			d.orderPos++
+			startOp(devID, next, now)
+			return
+		}
+		if id := pickReady(d); id >= 0 {
+			startOp(devID, id, now)
+		}
+	}
+
+	// depSatisfied records the arrival of one dependency of id at time t.
+	depSatisfied := func(id graph.NodeID, t time.Duration) {
+		if t > readyAt[id] {
+			readyAt[id] = t
+		}
+		pendingDeps[id]--
+		if pendingDeps[id] == 0 {
+			markReady(id, readyAt[id])
+			dispatch(plan.Device[id], readyAt[id])
+		}
+	}
+
+	// Seed the roots.
+	for i := 0; i < n; i++ {
+		if pendingDeps[i] == 0 {
+			markReady(graph.NodeID(i), 0)
+		}
+	}
+	for d := range devs {
+		dispatch(DeviceID(d), 0)
+	}
+
+	var now time.Duration
+	for evq.Len() > 0 {
+		ev := heap.Pop(&evq).(event)
+		now = ev.t
+		switch ev.kind {
+		case evOpDone:
+			id := ev.node
+			devID := plan.Device[id]
+			d := &devs[devID]
+			d.running = -1
+			res.Finish[id] = now
+			executed++
+			// Fan out: colocated successors are satisfied now; remote
+			// ones enqueue a transfer on the FCFS link.
+			for _, e := range g.Succ(id) {
+				target := plan.Device[e.To]
+				if target == devID {
+					depSatisfied(e.To, now)
+					continue
+				}
+				lk := [2]DeviceID{devID, target}
+				start := now
+				if !sys.CongestionFree {
+					if free := linkFree[lk]; free > start {
+						start = free
+					}
+				}
+				dur := sys.TransferTime(devID, target, e.Bytes)
+				finish := start + dur
+				linkFree[lk] = finish
+				res.LinkBusy[lk] += dur
+				res.Transfers = append(res.Transfers, TransferEvent{
+					Edge: e, From: devID, To: target,
+					Enqueue: now, Start: start, Finish: finish,
+				})
+				push(event{t: finish, kind: evTransferDone, edge: e})
+			}
+			dispatch(devID, now)
+		case evTransferDone:
+			depSatisfied(ev.edge.To, now)
+		}
+	}
+
+	if executed != n {
+		return res, fmt.Errorf("simulation deadlocked: executed %d of %d operations (invalid schedule order?)", executed, n)
+	}
+	res.Makespan = now
+	sort.Slice(res.Transfers, func(i, j int) bool {
+		if res.Transfers[i].Start != res.Transfers[j].Start {
+			return res.Transfers[i].Start < res.Transfers[j].Start
+		}
+		return res.Transfers[i].Finish < res.Transfers[j].Finish
+	})
+	return res, nil
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"pesto/internal/graph"
+	"pesto/internal/sim"
+)
+
+// chromeEvent is one "complete" event (ph=X) in the Chrome Trace Event
+// format, loadable in chrome://tracing or Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TsUs float64           `json:"ts"`
+	DUs  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent     `json:"traceEvents"`
+	Metadata    map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace exports a simulated training step in the Chrome
+// Trace Event format: one "process" per device plus one per directional
+// link (transfers carry their queueing delay as an argument). Open the
+// output in chrome://tracing or https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, g *graph.Graph, sys sim.System, plan sim.Plan, res sim.Result) error {
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	out := chromeFile{Metadata: map[string]string{
+		"generator": "pesto simulator",
+		"makespan":  res.Makespan.String(),
+	}}
+
+	// Device lanes: pid = device id, tid 0.
+	for i := 0; i < g.NumNodes(); i++ {
+		id := graph.NodeID(i)
+		if res.Start[id] < 0 {
+			continue
+		}
+		nd, _ := g.Node(id)
+		dev, _ := sys.Device(plan.Device[id])
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: nd.Name,
+			Cat:  "op",
+			Ph:   "X",
+			TsUs: us(res.Start[id]),
+			DUs:  us(res.Finish[id] - res.Start[id]),
+			PID:  int(plan.Device[id]),
+			TID:  0,
+			Args: map[string]string{
+				"device": dev.Name,
+				"kind":   nd.Kind.String(),
+			},
+		})
+	}
+	// Link lanes: pid = 1000 + from*64 + to.
+	for _, tr := range res.Transfers {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: fmt.Sprintf("xfer %dB", tr.Edge.Bytes),
+			Cat:  "transfer",
+			Ph:   "X",
+			TsUs: us(tr.Start),
+			DUs:  us(tr.Finish - tr.Start),
+			PID:  1000 + int(tr.From)*64 + int(tr.To),
+			TID:  0,
+			Args: map[string]string{
+				"queued": tr.Queued().String(),
+				"from":   fmt.Sprint(tr.From),
+				"to":     fmt.Sprint(tr.To),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,256 @@
+// Package pesto is a from-scratch Go reproduction of "Towards Optimal
+// Placement and Scheduling of DNN Operations with Pesto" (Hafeez, Sun,
+// Gandhi, Liu — Middleware 2021): joint operation-level placement and
+// scheduling of DNN computation graphs on a CPU + 2-GPU machine, built
+// on an integer linear program over a communication-augmented DAG, with
+// graph coarsening, congestion constraints and memory constraints.
+//
+// The package is a facade over the implementation packages:
+//
+//   - graph construction and the model zoo (RNNLM, NMT, Transformer,
+//     NASNet and the paper's Figure 2 toy graph),
+//   - the hardware model and discrete-event training-step simulator,
+//   - the Pesto placement pipeline (coarsen → ILP → refine → expand),
+//   - the Expert and Baechi baselines,
+//   - profiling (compute times, communication model fits),
+//   - the experiment harness regenerating every table and figure of
+//     the paper's evaluation (§5).
+//
+// # Quickstart
+//
+//	g, _ := pesto.BuildModel("RNNLM-2-2048")
+//	sys := pesto.NewSystem(2, 16<<30) // the paper's 2× V100 testbed
+//	res, _ := pesto.Place(context.Background(), g, sys, pesto.PlaceOptions{})
+//	step, _ := pesto.Simulate(g, sys, res.Plan)
+//	fmt.Println("per-step training time:", step.Makespan)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package pesto
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"pesto/internal/baselines"
+	"pesto/internal/comm"
+	"pesto/internal/graph"
+	"pesto/internal/models"
+	"pesto/internal/placement"
+	"pesto/internal/profile"
+	"pesto/internal/runtime"
+	"pesto/internal/sim"
+	"pesto/internal/trace"
+)
+
+// Core graph types.
+type (
+	// Graph is a DNN computation DAG of operations and tensor edges.
+	Graph = graph.Graph
+	// Node is one compute operation.
+	Node = graph.Node
+	// NodeID identifies an operation within a Graph.
+	NodeID = graph.NodeID
+	// Edge is a precedence edge carrying a tensor.
+	Edge = graph.Edge
+	// OpKind is an operation's device affinity.
+	OpKind = graph.OpKind
+)
+
+// Operation kinds (§3.2.1 of the paper: O_C, O_G, O_K).
+const (
+	KindCPU    = graph.KindCPU
+	KindGPU    = graph.KindGPU
+	KindKernel = graph.KindKernel
+)
+
+// Hardware model types.
+type (
+	// System is a host with one CPU, a set of GPUs and a communication
+	// cost model.
+	System = sim.System
+	// Device is one compute device.
+	Device = sim.Device
+	// DeviceID identifies a device within a System.
+	DeviceID = sim.DeviceID
+	// Plan is a placement plus optional schedule — the output of Pesto
+	// and of every baseline.
+	Plan = sim.Plan
+	// StepResult is the outcome of simulating one training step.
+	StepResult = sim.Result
+	// TransferEvent records one inter-device tensor transfer.
+	TransferEvent = sim.TransferEvent
+	// LinkType classifies a communication link.
+	LinkType = comm.LinkType
+	// CommModel is a fitted linear communication-time model.
+	CommModel = comm.Model
+)
+
+// Placement types.
+type (
+	// PlaceOptions configures the Pesto pipeline.
+	PlaceOptions = placement.Options
+	// PlaceResult is the outcome of Place.
+	PlaceResult = placement.Result
+	// Variant names one of the paper's model variants.
+	Variant = models.Variant
+)
+
+// Errors re-exported for matching with errors.Is.
+var (
+	// ErrOOM marks placements whose cumulative footprint exceeds a
+	// device's memory.
+	ErrOOM = sim.ErrOOM
+	// ErrBadPlacement marks structurally invalid plans.
+	ErrBadPlacement = sim.ErrBadPlacement
+	// ErrUnsupportedSystem marks systems the Pesto ILP does not cover.
+	ErrUnsupportedSystem = placement.ErrUnsupportedSystem
+)
+
+// NewGraph returns an empty computation graph with a capacity hint.
+func NewGraph(hint int) *Graph { return graph.New(hint) }
+
+// NewSystem builds a system with one CPU and numGPUs GPUs of the given
+// memory capacity, with the default NVLink/PCIe communication model.
+// NewSystem(2, 16<<30) reproduces the paper's testbed.
+func NewSystem(numGPUs int, gpuMemory int64) System {
+	return sim.NewSystem(numGPUs, gpuMemory)
+}
+
+// Place runs the Pesto placement-and-scheduling pipeline (§3 of the
+// paper) on g for sys.
+func Place(ctx context.Context, g *Graph, sys System, opts PlaceOptions) (*PlaceResult, error) {
+	return placement.Place(ctx, g, sys, opts)
+}
+
+// Simulate executes one training step of a placed graph on the
+// discrete-event simulator and reports the per-step time, per-device
+// utilization and the transfer timeline.
+func Simulate(g *Graph, sys System, plan Plan) (StepResult, error) {
+	return sim.Run(g, sys, plan)
+}
+
+// Execute runs one training step on the concurrent runtime executor
+// (one goroutine per device, virtual clock) — the engine used to
+// validate the simulator as in §5.4. The plan must carry an explicit
+// per-device order, which Place produces with ScheduleFromILP.
+func Execute(g *Graph, sys System, plan Plan, noiseSigma float64, seed int64) (time.Duration, error) {
+	res, err := runtime.Execute(g, sys, plan, runtime.Options{NoiseSigma: noiseSigma, Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}
+
+// ExpertPlan returns the manual expert placement: contiguous layer
+// blocks for sequential models, branch splitting when branches is true
+// (the NASNet recipe).
+func ExpertPlan(g *Graph, sys System, branches bool) (Plan, error) {
+	mode := baselines.ExpertLayered
+	if branches {
+		mode = baselines.ExpertBranches
+	}
+	return baselines.Expert(g, sys, mode)
+}
+
+// BaechiPlan returns the best of Baechi's m-SCT, m-ETF and m-TOPO
+// placements (as the paper reports), with the winning heuristic's name
+// and its simulated per-step time.
+func BaechiPlan(g *Graph, sys System) (Plan, string, time.Duration, error) {
+	plan, h, mk, err := baselines.BestBaechi(g, sys)
+	return plan, h.String(), mk, err
+}
+
+// SingleGPUPlan places every GPU operation on the first GPU —
+// TensorFlow's default behaviour.
+func SingleGPUPlan(g *Graph, sys System) (Plan, error) {
+	return baselines.SingleGPU(g, sys)
+}
+
+// HEFTPlan returns the classic Heterogeneous-Earliest-Finish-Time
+// placement (one of the ad-hoc heuristics §6 of the paper discusses).
+func HEFTPlan(g *Graph, sys System) (Plan, error) {
+	return baselines.HEFT(g, sys)
+}
+
+// PlaceMultiGPU extends Place to systems with more than two GPUs — the
+// §3.2.2 extension, implemented with Pesto's warm-start and refinement
+// machinery generalized to k devices (the exact ILP covers the paper's
+// primary two-GPU setting, to which this defers when k == 2).
+func PlaceMultiGPU(ctx context.Context, g *Graph, sys System, opts PlaceOptions) (*PlaceResult, error) {
+	return placement.PlaceMultiGPU(ctx, g, sys, opts)
+}
+
+// WriteGantt renders the timeline of a simulated step as a text Gantt
+// chart (device lanes plus link lanes with queueing markers — the
+// Figure 5 visualization).
+func WriteGantt(w io.Writer, g *Graph, sys System, plan Plan, res StepResult) error {
+	return trace.Gantt(w, g, sys, plan, res, trace.Options{})
+}
+
+// WriteChromeTrace exports a simulated step in the Chrome Trace Event
+// format (chrome://tracing, Perfetto): one lane per device plus one per
+// directional link.
+func WriteChromeTrace(w io.Writer, g *Graph, sys System, plan Plan, res StepResult) error {
+	return trace.WriteChromeTrace(w, g, sys, plan, res)
+}
+
+// NewMultiHostSystem builds a hierarchical topology: hosts × gpusPerHost
+// GPUs with NVLink within a host and a datacenter network between hosts
+// (the hierarchical communication models §3.2.2 mentions).
+func NewMultiHostSystem(hosts, gpusPerHost int, gpuMemory int64) System {
+	return sim.NewMultiHostSystem(hosts, gpusPerHost, gpuMemory)
+}
+
+// WritePlan serializes a plan as JSON.
+func WritePlan(w io.Writer, p Plan) error { return sim.WritePlanJSON(w, p) }
+
+// ReadPlan parses a JSON plan.
+func ReadPlan(r io.Reader) (Plan, error) { return sim.ReadPlanJSON(r) }
+
+// WriteGraph serializes a graph as JSON.
+func WriteGraph(w io.Writer, g *Graph) error { return g.WriteJSON(w) }
+
+// ReadGraph parses a JSON graph.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadJSON(r) }
+
+// BuildModel constructs one of the paper's model variants by name
+// (e.g. "RNNLM-2-2048", "NMT-4-1024", "Transformer-6-16-2048",
+// "NASNet-4-212", or the scaled-down "*-small" counterparts).
+func BuildModel(name string) (*Graph, error) {
+	v, err := models.FindVariant(name)
+	if err != nil {
+		return nil, err
+	}
+	return v.Build()
+}
+
+// ModelVariants lists the paper's eleven full-scale variants.
+func ModelVariants() []Variant { return models.PaperVariants() }
+
+// ProfileCompute estimates per-operation compute times by running the
+// given number of training iterations on the runtime executor (§3.1;
+// the paper uses 100). It overwrites g's costs with the measured means
+// and returns the normalized-stddev CDF (sorted, small ops filtered at
+// 10µs) — the Figure 4a data.
+func ProfileCompute(g *Graph, iterations int, seed int64) ([]float64, error) {
+	prof, err := profile.Compute(g, profile.Options{Iterations: iterations, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := prof.ApplyTo(g); err != nil {
+		return nil, err
+	}
+	return prof.StddevCDF(10 * time.Microsecond), nil
+}
+
+// ProfileCommunication fits the linear communication-time model for a
+// link type by timing transfers of varying sizes (§3.1, Figure 4b).
+func ProfileCommunication(sys System, lt LinkType, seed int64) (CommModel, error) {
+	prof, err := profile.Communication(sys, lt, profile.CommOptions{Seed: seed})
+	if err != nil {
+		return CommModel{}, err
+	}
+	return prof.Model, nil
+}
