@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test check bench fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The full gate: gofmt, vet, build, and the unit tests under the race
+# detector (the placement engine is concurrent; races are correctness
+# bugs here, not style).
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x -timeout 2h
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...

@@ -31,15 +31,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("pesto-experiments", flag.ContinueOnError)
 	var (
-		small   = fs.Bool("small", false, "use scaled-down model variants (seconds instead of minutes)")
-		ilpTime = fs.Duration("ilp-time", 0, "Pesto ILP+refinement budget per placement (0 = default)")
-		only    = fs.String("only", "", "comma-separated experiment names; empty = all")
-		seed    = fs.Int64("seed", 1, "random seed")
+		small    = fs.Bool("small", false, "use scaled-down model variants (seconds instead of minutes)")
+		ilpTime  = fs.Duration("ilp-time", 0, "Pesto ILP+refinement budget per placement (0 = default)")
+		only     = fs.String("only", "", "comma-separated experiment names; empty = all")
+		seed     = fs.Int64("seed", 1, "random seed")
+		parallel = fs.Int("parallel", 0, "worker count for placement and experiment cells (0 = GOMAXPROCS); tables are reproducible at -parallel 1, budget-bound cells can shift under contention")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Small: *small, ILPTimeLimit: *ilpTime, Seed: *seed}
+	cfg := experiments.Config{Small: *small, ILPTimeLimit: *ilpTime, Seed: *seed, Parallel: *parallel}
 	ctx := context.Background()
 
 	want := map[string]bool{}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	pesto -model RNNLM-2-2048 [-strategy pesto|expert|baechi|single]
-//	      [-ilp-time 10s] [-coarsen 192] [-gpus 2] [-gpu-mem-gb 16]
+//	      [-ilp-time 10s] [-ilp-max-nodes N] [-parallel N]
+//	      [-coarsen 192] [-gpus 2] [-gpu-mem-gb 16]
 //	      [-timeline N] [-dot out.dot]
 package main
 
@@ -34,6 +35,8 @@ func run(args []string) error {
 		list     = fs.Bool("list", false, "list model variants and exit")
 		strategy = fs.String("strategy", "pesto", "pesto | expert | baechi | single | heft")
 		ilpTime  = fs.Duration("ilp-time", 10*time.Second, "Pesto ILP+refinement time budget")
+		ilpNodes = fs.Int("ilp-max-nodes", 0, "branch-and-bound node budget (0 = solver default); a machine-independent truncation, unlike -ilp-time")
+		parallel = fs.Int("parallel", 0, "placement worker count (0 = GOMAXPROCS); identical plans at any value unless -ilp-time binds")
 		coarsen  = fs.Int("coarsen", 0, "coarsening target (0 = default)")
 		gpus     = fs.Int("gpus", 2, "number of GPUs")
 		gpuMemGB = fs.Int64("gpu-mem-gb", 16, "GPU memory in GiB")
@@ -78,8 +81,10 @@ func run(args []string) error {
 	case "pesto":
 		res, err := pesto.PlaceMultiGPU(context.Background(), g, sys, pesto.PlaceOptions{
 			ILPTimeLimit:    *ilpTime,
+			ILPMaxNodes:     *ilpNodes,
 			CoarsenTarget:   *coarsen,
 			ScheduleFromILP: true,
+			Parallel:        *parallel,
 		})
 		if err != nil {
 			return err

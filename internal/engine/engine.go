@@ -1,0 +1,115 @@
+// Package engine owns concurrency for the Pesto stack: a bounded
+// worker pool plus a task/result abstraction with context cancellation
+// and a deterministic merge step.
+//
+// Every layer that fans work out — warm-start candidate evaluation and
+// refinement moves in internal/placement, LP relaxations of independent
+// branch-and-bound children in internal/ilp, sweep cells and per-model
+// rows in internal/experiments — submits closures through a Pool and
+// receives the results in submission order. All algorithmic decisions
+// (pruning, incumbent updates, picking the best candidate) happen on
+// the merged, ordered result slice, never inside the workers, so a
+// fixed seed yields byte-identical output regardless of the worker
+// count. The pool only changes how fast the answer arrives, never what
+// the answer is.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool. The zero Pool and the nil Pool are
+// both valid and run everything inline on the calling goroutine
+// (sequential mode), which keeps call sites free of nil checks and
+// makes "workers=1" a true no-goroutine baseline.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most workers tasks concurrently.
+// workers <= 0 means GOMAXPROCS, the "size by the hardware" default.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the concurrency bound. A nil or zero pool reports 1.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers <= 0 {
+		return 1
+	}
+	return p.workers
+}
+
+// Task produces one value. Tasks must be pure with respect to shared
+// state: they may read shared inputs but must write only to their own
+// return value, because they run concurrently with their siblings.
+type Task[R any] func(ctx context.Context) (R, error)
+
+// Result pairs one task's output with its error, in submission order.
+type Result[R any] struct {
+	Value R
+	Err   error
+}
+
+// Run executes the tasks through the pool and returns their results
+// indexed exactly like the input slice. Per-task errors are recorded
+// in the corresponding Result; Run itself fails only when ctx is
+// cancelled (or its deadline passes), in which case unstarted tasks
+// are skipped and the context error is returned.
+func Run[R any](ctx context.Context, p *Pool, tasks []Task[R]) ([]Result[R], error) {
+	out := make([]Result[R], len(tasks))
+	w := p.Workers()
+	if w > len(tasks) {
+		w = len(tasks)
+	}
+	if w <= 1 {
+		// Inline fast path: no goroutines, identical results.
+		for i, t := range tasks {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			out[i].Value, out[i].Err = t(ctx)
+		}
+		return out, ctx.Err()
+	}
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range tasks {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i].Value, out[i].Err = tasks[i](ctx)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, ctx.Err()
+}
+
+// Map fans fn out over the index range [0, n) and returns the results
+// in index order — the common "evaluate n independent candidates"
+// shape. Cancellation semantics match Run.
+func Map[R any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (R, error)) ([]Result[R], error) {
+	tasks := make([]Task[R], n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = func(ctx context.Context) (R, error) { return fn(ctx, i) }
+	}
+	return Run(ctx, p, tasks)
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesSubmissionOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := New(workers)
+		res, err := Map(context.Background(), p, 100, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, r := range res {
+			if r.Err != nil || r.Value != i*i {
+				t.Fatalf("workers=%d: res[%d] = (%d, %v), want (%d, nil)", workers, i, r.Value, r.Err, i*i)
+			}
+		}
+	}
+}
+
+func TestMapRecordsPerTaskErrors(t *testing.T) {
+	boom := errors.New("boom")
+	res, err := Map(context.Background(), New(4), 10, func(_ context.Context, i int) (int, error) {
+		if i%3 == 0 {
+			return 0, fmt.Errorf("task %d: %w", i, boom)
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		wantErr := i%3 == 0
+		if (r.Err != nil) != wantErr {
+			t.Errorf("res[%d].Err = %v, want error=%v", i, r.Err, wantErr)
+		}
+		if wantErr && !errors.Is(r.Err, boom) {
+			t.Errorf("res[%d].Err = %v, want wrapped boom", i, r.Err)
+		}
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int32
+	tasks := make([]Task[int], 1000)
+	for i := range tasks {
+		tasks[i] = func(context.Context) (int, error) {
+			if started.Add(1) == 3 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return 0, nil
+		}
+	}
+	_, err := Run(ctx, New(2), tasks)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop submission: %d tasks started", n)
+	}
+}
+
+func TestRunHonorsDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	tasks := make([]Task[int], 10000)
+	for i := range tasks {
+		tasks[i] = func(context.Context) (int, error) {
+			time.Sleep(time.Millisecond)
+			return 0, nil
+		}
+	}
+	_, err := Run(ctx, New(2), tasks)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestNilAndZeroPoolRunInline(t *testing.T) {
+	var nilPool *Pool
+	if nilPool.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", nilPool.Workers())
+	}
+	res, err := Map(context.Background(), nilPool, 5, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if err != nil || len(res) != 5 {
+		t.Fatalf("nil pool Map: %v (%d results)", err, len(res))
+	}
+	zero := &Pool{}
+	if zero.Workers() != 1 {
+		t.Fatalf("zero pool workers = %d, want 1", zero.Workers())
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if w := New(0).Workers(); w < 1 {
+		t.Fatalf("default workers = %d", w)
+	}
+	if w := New(7).Workers(); w != 7 {
+		t.Fatalf("workers = %d, want 7", w)
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int32
+	tasks := make([]Task[int], 64)
+	for i := range tasks {
+		tasks[i] = func(context.Context) (int, error) {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return 0, nil
+		}
+	}
+	if _, err := Run(context.Background(), New(3), tasks); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds pool bound 3", p)
+	}
+}

@@ -58,6 +58,9 @@ func table2Models(cfg Config) []string {
 }
 
 // Table2 measures Baechi and Pesto placement times on this machine.
+// Deliberately sequential: the rows time wall-clock placement, and
+// running them concurrently would have them contend for cores and
+// inflate each other's measurements.
 func Table2(ctx context.Context, cfg Config) (Table2Result, error) {
 	cfg = cfg.withDefaults()
 	var out Table2Result
@@ -127,7 +130,8 @@ func table3Steps(name string) int {
 }
 
 // Table3 computes training efforts from measured placement times and
-// simulated per-step times.
+// simulated per-step times. Sequential for the same reason as Table2:
+// its placement-time column is a wall-clock measurement.
 func Table3(ctx context.Context, cfg Config) (Table3Result, error) {
 	cfg = cfg.withDefaults()
 	var out Table3Result

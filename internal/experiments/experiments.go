@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"pesto/internal/baselines"
+	"pesto/internal/engine"
 	"pesto/internal/graph"
 	"pesto/internal/models"
 	"pesto/internal/placement"
@@ -37,13 +38,21 @@ type Config struct {
 	// ILPTimeLimit bounds each Pesto ILP solve; zero means 5s (Small)
 	// or 20s.
 	ILPTimeLimit time.Duration
-	// CoarsenTarget is Pesto's heuristic coarse size; zero means 192.
+	// CoarsenTarget is Pesto's heuristic coarse size; zero defers to
+	// placement.Options.withDefaults, the one place that rule lives.
 	CoarsenTarget int
 	// ProfileIters is the profiling iteration count; zero means 100
 	// (20 when Small).
 	ProfileIters int
 	// Seed drives all stochastic components.
 	Seed int64
+	// Parallel is the worker count handed to the placement engine and
+	// used to fan experiment rows out; zero means GOMAXPROCS. The fan
+	// out merges in submission order, so it never reorders results —
+	// but cells whose ILPTimeLimit binds truncate at a load-dependent
+	// point, and concurrent cells contending for cores shift it. Use
+	// Parallel=1 (or node budgets) for bit-reproducible tables.
+	Parallel int
 }
 
 func (c Config) withDefaults() Config {
@@ -57,9 +66,6 @@ func (c Config) withDefaults() Config {
 		} else {
 			c.ILPTimeLimit = 20 * time.Second
 		}
-	}
-	if c.CoarsenTarget <= 0 {
-		c.CoarsenTarget = 192
 	}
 	if c.ProfileIters <= 0 {
 		if c.Small {
@@ -85,8 +91,12 @@ func (c Config) placeOpts() placement.Options {
 		ILPTimeLimit:    c.ILPTimeLimit,
 		ScheduleFromILP: true,
 		Seed:            c.Seed,
+		Parallel:        c.Parallel,
 	}
 }
+
+// pool is the worker pool experiments fan independent cells through.
+func (c Config) pool() *engine.Pool { return engine.New(c.Parallel) }
 
 // expertMode maps a model family to its manual strategy.
 func expertMode(v models.Variant) baselines.ExpertMode {

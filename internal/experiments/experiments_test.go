@@ -9,7 +9,7 @@ import (
 
 // smallCfg keeps every experiment in the seconds range.
 func smallCfg() Config {
-	return Config{Small: true, ILPTimeLimit: 2 * time.Second, Seed: 1}
+	return Config{Small: true, ILPTimeLimit: timeScale * 2 * time.Second, Seed: 1}
 }
 
 func TestFigure2ShapeHolds(t *testing.T) {

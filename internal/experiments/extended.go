@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pesto/internal/baselines"
+	"pesto/internal/engine"
 	"pesto/internal/placement"
 	"pesto/internal/sim"
 )
@@ -48,13 +49,17 @@ func (r ExtendedResult) String() string {
 }
 
 // ExtendedBaselines runs the five-strategy comparison across variants.
+// Variant rows are independent, so they run through the worker pool and
+// are collected in variant order.
 func ExtendedBaselines(ctx context.Context, cfg Config) (ExtendedResult, error) {
 	cfg = cfg.withDefaults()
 	var out ExtendedResult
-	for _, v := range cfg.variants() {
+	variants := cfg.variants()
+	outs, err := engine.Map(ctx, cfg.pool(), len(variants), func(ctx context.Context, i int) (ExtendedRow, error) {
+		v := variants[i]
 		g, err := v.Build()
 		if err != nil {
-			return out, fmt.Errorf("%s: %w", v.Name, err)
+			return ExtendedRow{}, err
 		}
 		sys := *cfg.Sys
 		row := ExtendedRow{Variant: v.Name}
@@ -69,9 +74,18 @@ func ExtendedBaselines(ctx context.Context, cfg Config) (ExtendedResult, error) 
 		row.Baechi = runStrategy("Baechi", g, sys, bp, berr)
 		_, row.Pesto = pesto(ctx, cfg, g)
 		if row.Pesto.Err != nil {
-			return out, fmt.Errorf("%s: %w", v.Name, row.Pesto.Err)
+			return row, row.Pesto.Err
 		}
-		out.Rows = append(out.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return out, err
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			return out, fmt.Errorf("%s: %w", variants[i].Name, o.Err)
+		}
+		out.Rows = append(out.Rows, o.Value)
 	}
 	return out, nil
 }
@@ -113,23 +127,36 @@ func MultiGPU(ctx context.Context, cfg Config) (MultiGPUResult, error) {
 		return MultiGPUResult{}, err
 	}
 	out := MultiGPUResult{Model: v.Name}
-	var base time.Duration
-	for _, k := range []int{2, 3, 4} {
+	// The GPU counts place concurrently; the speedup column needs the
+	// 2-GPU baseline, so it is derived after the ordered merge.
+	counts := []int{2, 3, 4}
+	outs, err := engine.Map(ctx, cfg.pool(), len(counts), func(ctx context.Context, i int) (MultiGPUPoint, error) {
+		k := counts[i]
 		sys := sim.NewSystem(k, 16<<30)
 		res, err := placement.PlaceMultiGPU(ctx, g, sys, cfg.placeOpts())
 		if err != nil {
-			return out, fmt.Errorf("%d gpus: %w", k, err)
+			return MultiGPUPoint{}, err
 		}
 		r, err := sim.Run(g, sys, res.Plan)
 		if err != nil {
-			return out, fmt.Errorf("%d gpus: %w", k, err)
+			return MultiGPUPoint{}, err
 		}
-		if k == 2 {
-			base = r.Makespan
+		return MultiGPUPoint{GPUs: k, Pesto: r.Makespan, PlaceDur: res.PlacementTime}, nil
+	})
+	if err != nil {
+		return out, err
+	}
+	var base time.Duration
+	for i, o := range outs {
+		if o.Err != nil {
+			return out, fmt.Errorf("%d gpus: %w", counts[i], o.Err)
 		}
-		pt := MultiGPUPoint{GPUs: k, Pesto: r.Makespan, PlaceDur: res.PlacementTime}
+		pt := o.Value
+		if pt.GPUs == 2 {
+			base = pt.Pesto
+		}
 		if base > 0 {
-			pt.Speedup = float64(base) / float64(r.Makespan)
+			pt.Speedup = float64(base) / float64(pt.Pesto)
 		}
 		out.Points = append(out.Points, pt)
 	}

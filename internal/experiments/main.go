@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pesto/internal/baselines"
+	"pesto/internal/engine"
 	"pesto/internal/graph"
 	"pesto/internal/models"
 	"pesto/internal/placement"
@@ -162,16 +163,25 @@ func (r Figure7Result) String() string {
 	return table("Figure 7: per-step training time", rows)
 }
 
-// Figure7 runs the headline comparison across all variants.
+// Figure7 runs the headline comparison across all variants. Rows are
+// independent (each builds its own graph and plans against a shared
+// read-only system), so they run through the worker pool; the result
+// slice keeps variant order regardless of completion order.
 func Figure7(ctx context.Context, cfg Config) (Figure7Result, error) {
 	cfg = cfg.withDefaults()
+	variants := cfg.variants()
+	outs, err := engine.Map(ctx, cfg.pool(), len(variants), func(ctx context.Context, i int) (Figure7Row, error) {
+		return figure7Row(ctx, cfg, variants[i])
+	})
+	if err != nil {
+		return Figure7Result{}, err
+	}
 	var out Figure7Result
-	for _, v := range cfg.variants() {
-		row, err := figure7Row(ctx, cfg, v)
-		if err != nil {
-			return out, fmt.Errorf("%s: %w", v.Name, err)
+	for i, o := range outs {
+		if o.Err != nil {
+			return out, fmt.Errorf("%s: %w", variants[i].Name, o.Err)
 		}
-		out.Rows = append(out.Rows, row)
+		out.Rows = append(out.Rows, o.Value)
 	}
 	return out, nil
 }

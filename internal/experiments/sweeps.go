@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"pesto/internal/engine"
 	"pesto/internal/models"
 	"pesto/internal/placement"
 	"pesto/internal/runtime"
@@ -45,18 +46,11 @@ func Figure8a(ctx context.Context, cfg Config) (Figure8aResult, error) {
 		return Figure8aResult{}, err
 	}
 	out := Figure8aResult{Model: v.Name}
-	for _, f := range []float64{1, 2, 4, 8} {
-		sys := cfg.Sys.WithComputeSpeed(f)
-		e, p, err := strategyOnSystem(ctx, cfg, v, sys)
-		if err != nil {
-			return out, fmt.Errorf("factor %g: %w", f, err)
-		}
-		pt := SweepPoint{Factor: f, Expert: e, Pesto: p, ExpertOOM: e == 0}
-		if e > 0 {
-			pt.Improvement = 1 - float64(p)/float64(e)
-		}
-		out.Points = append(out.Points, pt)
+	pts, err := sweepPoints(ctx, cfg, v, []float64{1, 2, 4, 8}, cfg.Sys.WithComputeSpeed)
+	if err != nil {
+		return out, err
 	}
+	out.Points = pts
 	return out, nil
 }
 
@@ -86,19 +80,42 @@ func Figure8b(ctx context.Context, cfg Config) (Figure8bResult, error) {
 		return Figure8bResult{}, err
 	}
 	out := Figure8bResult{Model: v.Name}
-	for _, f := range []float64{0.1, 0.25, 0.5, 1, 2} {
-		sys := cfg.Sys.WithCommSpeed(f)
-		e, p, err := strategyOnSystem(ctx, cfg, v, sys)
+	pts, err := sweepPoints(ctx, cfg, v, []float64{0.1, 0.25, 0.5, 1, 2}, cfg.Sys.WithCommSpeed)
+	if err != nil {
+		return out, err
+	}
+	out.Points = pts
+	return out, nil
+}
+
+// sweepPoints evaluates Expert and Pesto at each scaling factor
+// concurrently. Each point scales the base system through scale (which
+// copies; the base is never written) and plans independently, so the
+// cells fan out through the pool and are collected in factor order.
+func sweepPoints(ctx context.Context, cfg Config, v models.Variant, factors []float64, scale func(float64) sim.System) ([]SweepPoint, error) {
+	outs, err := engine.Map(ctx, cfg.pool(), len(factors), func(ctx context.Context, i int) (SweepPoint, error) {
+		f := factors[i]
+		e, p, err := strategyOnSystem(ctx, cfg, v, scale(f))
 		if err != nil {
-			return out, fmt.Errorf("factor %g: %w", f, err)
+			return SweepPoint{}, err
 		}
 		pt := SweepPoint{Factor: f, Expert: e, Pesto: p, ExpertOOM: e == 0}
 		if e > 0 {
 			pt.Improvement = 1 - float64(p)/float64(e)
 		}
-		out.Points = append(out.Points, pt)
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	pts := make([]SweepPoint, 0, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			return pts, fmt.Errorf("factor %g: %w", factors[i], o.Err)
+		}
+		pts = append(pts, o.Value)
+	}
+	return pts, nil
 }
 
 func nmtVariant(cfg Config) (models.Variant, error) {
@@ -150,21 +167,32 @@ func CoarseningSensitivity(ctx context.Context, cfg Config, targets []int) (Coar
 		targets = []int{32, 64, 96, 128}
 	}
 	out := CoarseningResult{Model: v.Name}
-	for _, target := range targets {
+	// Each target plans the same (read-only) graph independently, so the
+	// targets fan out through the pool and are collected in order.
+	outs, err := engine.Map(ctx, cfg.pool(), len(targets), func(ctx context.Context, i int) (CoarsenPoint, error) {
 		opts := cfg.placeOpts()
-		opts.CoarsenTarget = target
+		opts.CoarsenTarget = targets[i]
 		res, err := placement.Place(ctx, g, *cfg.Sys, opts)
 		if err != nil {
-			return out, fmt.Errorf("target %d: %w", target, err)
+			return CoarsenPoint{}, err
 		}
 		sr, err := sim.Run(g, *cfg.Sys, res.Plan)
 		if err != nil {
-			return out, fmt.Errorf("target %d: %w", target, err)
+			return CoarsenPoint{}, err
 		}
-		out.Points = append(out.Points, CoarsenPoint{
-			Target: target, CoarseSize: res.CoarseSize,
+		return CoarsenPoint{
+			Target: targets[i], CoarseSize: res.CoarseSize,
 			PlacementTime: res.PlacementTime, StepTime: sr.Makespan, Gap: res.Gap,
-		})
+		}, nil
+	})
+	if err != nil {
+		return out, err
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			return out, fmt.Errorf("target %d: %w", targets[i], o.Err)
+		}
+		out.Points = append(out.Points, o.Value)
 	}
 	return out, nil
 }
@@ -212,29 +240,40 @@ func (r ValidationResult) String() string {
 func SimulatorValidation(ctx context.Context, cfg Config) (ValidationResult, error) {
 	cfg = cfg.withDefaults()
 	var out ValidationResult
-	for _, v := range cfg.variants() {
+	variants := cfg.variants()
+	outs, err := engine.Map(ctx, cfg.pool(), len(variants), func(ctx context.Context, i int) (ValidationRow, error) {
+		v := variants[i]
 		g, err := v.Build()
 		if err != nil {
-			return out, err
+			return ValidationRow{}, err
 		}
 		res, err := placement.Place(ctx, g, *cfg.Sys, cfg.placeOpts())
 		if err != nil {
-			return out, fmt.Errorf("%s: %w", v.Name, err)
+			return ValidationRow{}, err
 		}
 		sr, err := sim.Run(g, *cfg.Sys, res.Plan)
 		if err != nil {
-			return out, fmt.Errorf("%s: simulate: %w", v.Name, err)
+			return ValidationRow{}, fmt.Errorf("simulate: %w", err)
 		}
 		rr, err := runtime.Execute(g, *cfg.Sys, res.Plan, runtime.Options{
 			NoiseSigma: 0.03, Seed: cfg.Seed, Iteration: 1,
 		})
 		if err != nil {
-			return out, fmt.Errorf("%s: runtime: %w", v.Name, err)
+			return ValidationRow{}, fmt.Errorf("runtime: %w", err)
 		}
-		out.Rows = append(out.Rows, ValidationRow{
+		return ValidationRow{
 			Model: v.Name, Simulator: sr.Makespan, Runtime: rr.Makespan,
 			RelativeError: float64(rr.Makespan-sr.Makespan) / float64(sr.Makespan),
-		})
+		}, nil
+	})
+	if err != nil {
+		return out, err
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			return out, fmt.Errorf("%s: %w", variants[i].Name, o.Err)
+		}
+		out.Rows = append(out.Rows, o.Value)
 	}
 	return out, nil
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// timeScale stretches wall-clock search budgets in tests when the race
+// detector is on: instrumentation slows the LP solves by an order of
+// magnitude, so an unscaled budget starves the branch and bound of the
+// nodes it needs and quality assertions fail for timing, not logic.
+const timeScale = 8

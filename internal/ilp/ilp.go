@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"pesto/internal/engine"
 	"pesto/internal/lp"
 )
 
@@ -49,8 +50,24 @@ type Options struct {
 	// and its objective; the solver keeps it if it improves the
 	// incumbent. This hook lets domain code contribute rounding
 	// heuristics without the solver knowing the problem structure.
+	// The hook is always called from the merge phase on a single
+	// goroutine, so it may keep unguarded state.
 	Incumbent func(relaxed []float64) (x []float64, obj float64, ok bool)
+	// Pool evaluates the LP relaxations of independent open nodes
+	// concurrently. Nil runs them inline. The search trajectory is a
+	// function of batchSize, not of the pool's worker count, so the
+	// returned solution is identical at any parallelism level for a
+	// fixed truncation point (MaxNodes, or a TimeLimit that does not
+	// bind). A binding TimeLimit truncates wherever the wall clock
+	// lands, which varies with machine load.
+	Pool *engine.Pool
 }
+
+// batchSize is the number of open nodes whose LP relaxations are
+// solved per round. It is a constant — deliberately not the worker
+// count — so the set of explored nodes, and therefore the solution,
+// does not depend on how many workers the pool happens to have.
+const batchSize = 8
 
 func (o Options) withDefaults() Options {
 	if o.TimeLimit <= 0 {
@@ -127,11 +144,18 @@ type node struct {
 
 // Solve runs branch and bound and returns the best solution found. The
 // context cancels the search early (the best incumbent so far is still
-// returned with FeasibleStatus).
+// returned with FeasibleStatus); the time limit is enforced through a
+// derived context deadline, so in-flight LP batches stop launching new
+// work rather than being polled from outside.
 func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
 	deadline := start.Add(opts.TimeLimit)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	ctx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
 
 	isBinary := make(map[int]bool, len(p.Binary))
 	for _, v := range p.Binary {
@@ -150,107 +174,140 @@ func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
 	rootSolved := false
 	rootBound := math.Inf(-1)
 
+	// Each round pops up to batchSize nodes, solves their LP
+	// relaxations concurrently through the pool (the solve is pure:
+	// clone, fix bounds, solve), and then merges the outcomes on this
+	// goroutine in pop order — pruning, incumbent updates, diving and
+	// branching all happen sequentially on merged state.
+	prunable := func(bound float64) bool {
+		return bound > best.Objective-opts.GapTolerance*math.Max(math.Abs(best.Objective), 1) &&
+			rootSolved && !math.IsInf(bound, -1) && best.Status != NoSolutionStatus
+	}
+	type lpOutcome struct {
+		rel lp.Solution
+		err error
+	}
 	for len(open) > 0 {
-		if ctx.Err() != nil || time.Now().After(deadline) || best.Nodes >= opts.MaxNodes {
+		if ctx.Err() != nil || best.Nodes >= opts.MaxNodes {
 			break
 		}
-		// Pop the best-bound node — except while no incumbent exists,
-		// where diving (deepest node first) reaches integral leaves
-		// fastest.
+		// Order the frontier: best-bound nodes at the tail — except
+		// while no incumbent exists, where diving (deepest node first)
+		// reaches integral leaves fastest.
 		if best.Status == NoSolutionStatus {
 			sort.Slice(open, func(i, j int) bool { return open[i].depth < open[j].depth })
 		} else {
 			sort.Slice(open, func(i, j int) bool { return open[i].bound > open[j].bound })
 		}
-		nd := open[len(open)-1]
-		open = open[:len(open)-1]
-
-		// Prune against incumbent.
-		if nd.bound > best.Objective-opts.GapTolerance*math.Max(math.Abs(best.Objective), 1) && rootSolved && !math.IsInf(nd.bound, -1) && best.Status != NoSolutionStatus {
+		// Pop up to batchSize non-prunable nodes from the tail.
+		var batch []node
+		for len(open) > 0 && len(batch) < batchSize {
+			nd := open[len(open)-1]
+			open = open[:len(open)-1]
+			if prunable(nd.bound) {
+				continue
+			}
+			batch = append(batch, nd)
+		}
+		if len(batch) == 0 {
 			continue
 		}
-
-		sub := p.LP.Clone()
-		for v, val := range nd.fixes {
-			if err := sub.SetBounds(v, val, val); err != nil {
-				return best, fmt.Errorf("apply branch fix: %w", err)
+		outs, mapErr := engine.Map(ctx, opts.Pool, len(batch), func(_ context.Context, i int) (lpOutcome, error) {
+			sub := p.LP.Clone()
+			for v, val := range batch[i].fixes {
+				if err := sub.SetBounds(v, val, val); err != nil {
+					return lpOutcome{}, fmt.Errorf("apply branch fix: %w", err)
+				}
 			}
+			rel, err := lp.SolveDeadline(sub, deadline)
+			return lpOutcome{rel: rel, err: err}, nil
+		})
+		if mapErr != nil {
+			break // cancelled mid-batch; results may be incomplete
 		}
-		rel, err := lp.SolveDeadline(sub, deadline)
-		best.Nodes++
-		if err != nil {
-			if errors.Is(err, lp.ErrNoSolution) {
-				if rel.Status == lp.IterLimit {
-					// The LP stalled; we cannot conclude anything
-					// about this subtree — drop it without calling it
-					// infeasible.
-					lpStalled = true
+		for i, nd := range batch {
+			out := outs[i]
+			if out.Err != nil {
+				return best, out.Err
+			}
+			rel, err := out.Value.rel, out.Value.err
+			best.Nodes++
+			if err != nil {
+				if errors.Is(err, lp.ErrNoSolution) {
+					if rel.Status == lp.IterLimit {
+						// The LP stalled; we cannot conclude anything
+						// about this subtree — drop it without calling
+						// it infeasible.
+						lpStalled = true
+						rootSolved = true
+						continue
+					}
+					if !rootSolved && rel.Status == lp.Infeasible {
+						best.Status = InfeasibleStatus
+						best.Elapsed = time.Since(start)
+						return best, fmt.Errorf("root relaxation: %w", ErrInfeasible)
+					}
 					rootSolved = true
-					continue
+					continue // prune infeasible subtree
 				}
-				if !rootSolved && rel.Status == lp.Infeasible {
-					best.Status = InfeasibleStatus
-					best.Elapsed = time.Since(start)
-					return best, fmt.Errorf("root relaxation: %w", ErrInfeasible)
-				}
+				return best, fmt.Errorf("lp solve: %w", err)
+			}
+			if !rootSolved {
 				rootSolved = true
-				continue // prune infeasible subtree
+				rootBound = rel.Objective
 			}
-			return best, fmt.Errorf("lp solve: %w", err)
-		}
-		if !rootSolved {
-			rootSolved = true
-			rootBound = rel.Objective
-		}
-		// Bound-based pruning.
-		if best.Status != NoSolutionStatus && rel.Objective >= best.Objective-opts.GapTolerance*math.Max(math.Abs(best.Objective), 1) {
-			continue
-		}
-		// Offer the relaxation to the caller's heuristic.
-		if opts.Incumbent != nil {
-			if hx, hobj, ok := opts.Incumbent(rel.X); ok && hobj < best.Objective {
-				best.X = append([]float64(nil), hx...)
-				best.Objective = hobj
-				best.Status = FeasibleStatus
+			// Bound-based pruning against the latest incumbent (an
+			// earlier node of this batch may have improved it since
+			// this node was selected).
+			if best.Status != NoSolutionStatus && rel.Objective >= best.Objective-opts.GapTolerance*math.Max(math.Abs(best.Objective), 1) {
+				continue
 			}
-		}
-		// Rounding dive: a built-in primal heuristic that fixes
-		// near-integral binaries in bulk and re-solves until an
-		// integral point falls out. Run at the root and periodically,
-		// and always while no incumbent exists.
-		if best.Nodes == 1 || best.Status == NoSolutionStatus || best.Nodes%16 == 0 {
-			if dx, dobj, ok := dive(p, nd.fixes, rel.X, deadline); ok && dobj < best.Objective {
-				best.X = dx
-				best.Objective = dobj
-				best.Status = FeasibleStatus
+			// Offer the relaxation to the caller's heuristic.
+			if opts.Incumbent != nil {
+				if hx, hobj, ok := opts.Incumbent(rel.X); ok && hobj < best.Objective {
+					best.X = append([]float64(nil), hx...)
+					best.Objective = hobj
+					best.Status = FeasibleStatus
+				}
 			}
-		}
-		// Find most fractional binary.
-		branchVar, frac := -1, 0.0
-		for _, v := range p.Binary {
-			f := rel.X[v] - math.Floor(rel.X[v])
-			d := math.Min(f, 1-f)
-			if d > intTol && d > frac {
-				frac = d
-				branchVar = v
+			// Rounding dive: a built-in primal heuristic that fixes
+			// near-integral binaries in bulk and re-solves until an
+			// integral point falls out. Run at the root and
+			// periodically, and always while no incumbent exists.
+			if best.Nodes == 1 || best.Status == NoSolutionStatus || best.Nodes%16 == 0 {
+				if dx, dobj, ok := dive(p, nd.fixes, rel.X, deadline); ok && dobj < best.Objective {
+					best.X = dx
+					best.Objective = dobj
+					best.Status = FeasibleStatus
+				}
 			}
-		}
-		if branchVar < 0 {
-			// Integral: candidate incumbent.
-			if rel.Objective < best.Objective {
-				best.X = append([]float64(nil), rel.X...)
-				best.Objective = rel.Objective
-				best.Status = FeasibleStatus
+			// Find most fractional binary.
+			branchVar, frac := -1, 0.0
+			for _, v := range p.Binary {
+				f := rel.X[v] - math.Floor(rel.X[v])
+				d := math.Min(f, 1-f)
+				if d > intTol && d > frac {
+					frac = d
+					branchVar = v
+				}
 			}
-			continue
-		}
-		for _, val := range [2]float64{roundDir(rel.X[branchVar]), 1 - roundDir(rel.X[branchVar])} {
-			fixes := make(map[int]float64, len(nd.fixes)+1)
-			for k, v := range nd.fixes {
-				fixes[k] = v
+			if branchVar < 0 {
+				// Integral: candidate incumbent.
+				if rel.Objective < best.Objective {
+					best.X = append([]float64(nil), rel.X...)
+					best.Objective = rel.Objective
+					best.Status = FeasibleStatus
+				}
+				continue
 			}
-			fixes[branchVar] = val
-			open = append(open, node{fixes: fixes, bound: rel.Objective, depth: nd.depth + 1})
+			for _, val := range [2]float64{roundDir(rel.X[branchVar]), 1 - roundDir(rel.X[branchVar])} {
+				fixes := make(map[int]float64, len(nd.fixes)+1)
+				for k, v := range nd.fixes {
+					fixes[k] = v
+				}
+				fixes[branchVar] = val
+				open = append(open, node{fixes: fixes, bound: rel.Objective, depth: nd.depth + 1})
+			}
 		}
 	}
 

@@ -427,10 +427,10 @@ func buildModel(g *graph.Graph, sys sim.System, opts Options) (*model, error) {
 			// communication for no feasibility benefit, and the
 			// C_max objective already decides whether splitting pays.
 			needsSplit := (dev0.Memory > 0 && total > dev0.Memory) || (dev1.Memory > 0 && total > dev1.Memory)
+			// opts has been through withDefaults — the one place that
+			// resolves "zero means X" for every option — so no
+			// re-deriving of the default here.
 			slack := opts.MemorySlack
-			if slack <= 0 {
-				slack = 0.15
-			}
 			if needsSplit && slack < 0.5 {
 				add(append([]lp.Term(nil), terms...), lp.LE, 0.5+slack)
 				neg := make([]lp.Term, len(terms))

@@ -7,6 +7,7 @@ import (
 
 	"pesto/internal/coarsen"
 	"pesto/internal/comm"
+	"pesto/internal/engine"
 	"pesto/internal/graph"
 	"pesto/internal/ilp"
 	"pesto/internal/sim"
@@ -37,6 +38,13 @@ func PlaceMultiGPU(ctx context.Context, g *graph.Graph, sys sim.System, opts Opt
 		return nil, fmt.Errorf("pesto coarsen: %w", err)
 	}
 
+	pool := engine.New(opts.Parallel)
+	// The warm-start and refinement phases share the ILP's time budget;
+	// caller cancellation is checked separately so a cancelled caller
+	// gets an error, not a half-refined plan.
+	sctx, cancelSearch := context.WithDeadline(ctx, start.Add(opts.ILPTimeLimit))
+	defer cancelSearch()
+
 	h := &heuristic{
 		cg:      cres.Coarse,
 		sys:     sys,
@@ -44,10 +52,19 @@ func PlaceMultiGPU(ctx context.Context, g *graph.Graph, sys sim.System, opts Opt
 		opts:    opts,
 		orig:    g,
 		cres:    cres,
+		pool:    pool,
 	}
-	h.seedAssignments()
-	h.seedListScheduling()
-	h.refine(ctx, start.Add(opts.ILPTimeLimit))
+	// Seeds run on the caller's context so an exhausted time budget
+	// still yields an incumbent; only refinement is budget-bound.
+	h.seedAssignments(ctx)
+	h.seedListScheduling(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pesto: cancelled during warm start: %w", err)
+	}
+	h.refine(sctx)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pesto: cancelled during refinement: %w", err)
+	}
 	if h.bestDev == nil {
 		return nil, fmt.Errorf("pesto multi-gpu: %w", ErrNoPlacement)
 	}
@@ -58,7 +75,7 @@ func PlaceMultiGPU(ctx context.Context, g *graph.Graph, sys sim.System, opts Opt
 		CoarsenIterations: cres.Iterations,
 		PredictedMakespan: time.Duration(h.bestObj * float64(h.horizon)),
 	}
-	plan, mk, err := finalizePlan(g, h, h.bestDev, opts, len(sys.Devices))
+	plan, mk, err := finalizePlan(ctx, g, h, h.bestDev, opts, len(sys.Devices))
 	if err != nil {
 		return nil, err
 	}
@@ -84,30 +101,48 @@ func horizonFor(g *graph.Graph, sys sim.System) time.Duration {
 
 // finalizePlan evaluates a device vector under both schedule policies,
 // materializes an explicit order when the options ask for one, and
-// returns the better plan with its simulated makespan.
-func finalizePlan(g *graph.Graph, h *heuristic, dev []sim.DeviceID, opts Options, numDevices int) (sim.Plan, time.Duration, error) {
+// returns the better plan with its simulated makespan. The candidates
+// simulate concurrently; the winner is reduced in candidate order so
+// the result is independent of worker count.
+func finalizePlan(ctx context.Context, g *graph.Graph, h *heuristic, dev []sim.DeviceID, opts Options, numDevices int) (sim.Plan, time.Duration, error) {
 	simSys := h.simSystem()
-	var bestPlan sim.Plan
-	bestMk := time.Duration(-1)
-	for _, cand := range h.candidatePlans(dev) {
+	cands := h.candidatePlans(dev)
+	type finalized struct {
+		plan sim.Plan
+		mk   time.Duration
+		ok   bool
+	}
+	outs, err := engine.Map(ctx, h.pool, len(cands), func(_ context.Context, i int) (finalized, error) {
+		cand := cands[i]
 		if cand.Order == nil && opts.ScheduleFromILP {
 			r, err := sim.Run(g, simSys, cand)
 			if err != nil {
-				continue
+				return finalized{}, nil
 			}
 			oc, err := orderPlanByStarts(g, cand, r.Start, numDevices)
 			if err != nil {
-				continue
+				return finalized{}, nil
 			}
 			cand = oc
 		}
 		r, err := sim.Run(g, simSys, cand)
 		if err != nil {
+			return finalized{}, nil
+		}
+		return finalized{plan: cand, mk: r.Makespan, ok: true}, nil
+	})
+	if err != nil {
+		return sim.Plan{}, 0, fmt.Errorf("pesto: cancelled during candidate evaluation: %w", err)
+	}
+	var bestPlan sim.Plan
+	bestMk := time.Duration(-1)
+	for _, o := range outs {
+		if o.Err != nil || !o.Value.ok {
 			continue
 		}
-		if bestMk < 0 || r.Makespan < bestMk {
-			bestMk = r.Makespan
-			bestPlan = cand
+		if bestMk < 0 || o.Value.mk < bestMk {
+			bestMk = o.Value.mk
+			bestPlan = o.Value.plan
 		}
 	}
 	if bestMk < 0 {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pesto/internal/coarsen"
+	"pesto/internal/engine"
 	"pesto/internal/graph"
 	"pesto/internal/ilp"
 	"pesto/internal/sim"
@@ -34,6 +35,12 @@ type Options struct {
 	CoarsenTarget int
 	// ILPTimeLimit bounds the branch-and-bound search; zero means 10s.
 	ILPTimeLimit time.Duration
+	// ILPMaxNodes bounds the number of branch-and-bound nodes explored;
+	// zero defers to the solver's default. Unlike the wall-clock
+	// ILPTimeLimit, a node cap truncates the search at the same point on
+	// every machine, making the whole pipeline reproducible when the
+	// budget, not convergence, ends the search.
+	ILPMaxNodes int
 	// DisableCongestion removes congestion from the planner's world
 	// model — the Figure 5 ablation. The ILP drops constraint group
 	// (7), and the warm-start/refinement heuristics evaluate against a
@@ -78,8 +85,18 @@ type Options struct {
 	ScheduleFromILP bool
 	// Seed seeds the deterministic parts of heuristics.
 	Seed int64
+	// Parallel bounds the number of worker goroutines used for
+	// candidate evaluation, refinement moves and branch-and-bound LP
+	// relaxations; zero means GOMAXPROCS, negative values also fall
+	// back to GOMAXPROCS. The returned plan is byte-identical for a
+	// fixed Seed at every Parallel value: the engine merges results in
+	// submission order, so parallelism changes only the wall clock.
+	Parallel int
 }
 
+// withDefaults resolves every "zero means X" rule in one place — the
+// engine, the experiment harness and the tests all rely on this being
+// the only site that derives defaults.
 func (o Options) withDefaults() Options {
 	if o.CoarsenTarget <= 0 {
 		o.CoarsenTarget = 192
@@ -133,12 +150,26 @@ type Result struct {
 // Place runs the full Pesto pipeline on g for sys: coarsen, build the
 // ILP, solve with branch and bound plus a list-scheduling incumbent
 // heuristic, and expand the coarse solution to an original-graph plan.
+//
+// Independent candidate evaluations — warm-start seeds, refinement
+// moves, branch-and-bound LP relaxations and the final candidate
+// simulations — run concurrently on an opts.Parallel-wide worker pool.
+// Cancelling ctx aborts the pipeline: in-flight work stops and Place
+// returns the (wrapped) context error instead of a partial plan.
 func Place(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*Result, error) {
 	start := time.Now()
 	opts = opts.withDefaults()
 	if len(sys.GPUs()) != 2 {
 		return nil, fmt.Errorf("pesto: system has %d GPUs: %w", len(sys.GPUs()), ErrUnsupportedSystem)
 	}
+	pool := engine.New(opts.Parallel)
+	// The search phases (ILP + refinement) share a deadline-bound
+	// context derived from the time budget, so budget exhaustion
+	// cancels in-flight work instead of being polled. Caller
+	// cancellation is checked against the parent ctx: a spent budget
+	// is normal, a cancelled caller is an error.
+	sctx, cancelSearch := context.WithDeadline(ctx, start.Add(opts.ILPTimeLimit))
+	defer cancelSearch()
 
 	// Two coarsening granularities (both §3.3): a fine one preserving
 	// parallelism for the list-scheduling heuristics and refinement,
@@ -167,7 +198,7 @@ func Place(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*
 	// memory, list-schedule the original graph, and report the realized
 	// makespan (a valid C_max upper bound: any valid schedule is a
 	// feasible ILP point, §3.2.2).
-	hILP := &heuristic{model: m, cg: ilpCres.Coarse, sys: sys, horizon: m.horizon, opts: opts, orig: g, cres: ilpCres}
+	hILP := &heuristic{model: m, cg: ilpCres.Coarse, sys: sys, horizon: m.horizon, opts: opts, orig: g, cres: ilpCres, pool: pool}
 	incumbent := hILP.tryIncumbent
 	if opts.ILPOnly {
 		incumbent = nil // pure branch and bound
@@ -180,12 +211,17 @@ func Place(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*
 	if opts.ILPOnly {
 		ilpBudget = opts.ILPTimeLimit // no refinement phase to reserve for
 	}
-	sol, err := ilp.Solve(ctx, ilp.Problem{LP: m.lp, Binary: m.binary}, ilp.Options{
+	sol, err := ilp.Solve(sctx, ilp.Problem{LP: m.lp, Binary: m.binary}, ilp.Options{
 		TimeLimit: ilpBudget,
+		MaxNodes:  opts.ILPMaxNodes,
 		Incumbent: incumbent,
+		Pool:      pool,
 	})
 	if err != nil && !errors.Is(err, ilp.ErrInfeasible) {
 		return nil, fmt.Errorf("pesto ilp: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pesto: cancelled during ilp: %w", err)
 	}
 	if opts.ILPOnly {
 		return finishILPOnly(g, sys, m, ilpCres, sol, opts, start)
@@ -201,13 +237,20 @@ func Place(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*
 	// stronger solver the paper had: whatever the greedy schedulers
 	// find is a feasible ILP point, so Pesto starts from at least
 	// their quality and improves from there.
-	h := &heuristic{cg: cres.Coarse, sys: sys, horizon: m.horizon, opts: opts, orig: g, cres: cres}
-	h.seedAssignments()
-	h.seedListScheduling()
+	// Seeding runs on the caller's context, not the budget-bound sctx:
+	// the warm starts are cheap and must produce an incumbent even when
+	// the branch and bound consumed the whole time budget. Only the
+	// open-ended refinement loop is cut off by the budget.
+	h := &heuristic{cg: cres.Coarse, sys: sys, horizon: m.horizon, opts: opts, orig: g, cres: cres, pool: pool}
+	h.seedAssignments(ctx)
+	h.seedListScheduling(ctx)
 	if hILP.bestDev != nil {
 		h.adoptOriginal(hILP.bestDev)
 	}
-	h.refine(ctx, start.Add(opts.ILPTimeLimit))
+	h.refine(sctx)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pesto: cancelled during refinement: %w", err)
+	}
 
 	res := &Result{
 		CoarseSize:        cg.NumNodes(),
@@ -258,49 +301,76 @@ func Place(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*
 		return nil, fmt.Errorf("pesto: ilp %v and no heuristic incumbent: %w", sol.Status, ErrNoPlacement)
 	}
 
-	simSys := h.simSystem()
-	var bestPlan sim.Plan
-	var bestCoarse sim.Plan
-	bestMk := time.Duration(-1)
+	// Enumerate all variants sequentially (cheap), then simulate them
+	// concurrently. Each task is pure — its own sim.Run calls against
+	// the shared read-only graph and system — and the winner is picked
+	// by reducing the merged results in submission order, so the
+	// chosen plan does not depend on the worker count.
+	type variantCand struct {
+		plan   sim.Plan
+		coarse sim.Plan
+	}
+	var variants []variantCand
 	for _, c := range candidates {
 		cp := c.plan
 		expanded := cp.Device
 		if c.lvl != nil {
 			expanded = c.lvl.expandDevices(cp.Device)
 		}
-		variants := h.candidatePlans(expanded)
+		for _, v := range h.candidatePlans(expanded) {
+			variants = append(variants, variantCand{plan: v, coarse: cp})
+		}
 		if c.lvl != nil && cp.Order != nil {
 			// Strict blob order implied by the coarse ILP schedule.
 			ordered, err := expand(g, c.lvl.cres, cp, true)
 			if err != nil {
 				return nil, err
 			}
-			variants = append(variants, ordered)
+			variants = append(variants, variantCand{plan: ordered, coarse: cp})
 		}
-		for _, cand := range variants {
-			if cand.Order == nil && opts.ScheduleFromILP {
-				// Materialize ready-queue schedules as explicit orders
-				// so downstream consumers (e.g. the runtime executor)
-				// get control dependencies either way.
-				r, err := sim.Run(g, simSys, cand)
-				if err != nil {
-					continue
-				}
-				oc, err := orderPlanByStarts(g, cand, r.Start, len(sys.Devices))
-				if err != nil {
-					continue
-				}
-				cand = oc
-			}
+	}
+	simSys := h.simSystem()
+	type variantOut struct {
+		plan sim.Plan
+		mk   time.Duration
+		ok   bool
+	}
+	outs, mapErr := engine.Map(ctx, pool, len(variants), func(_ context.Context, i int) (variantOut, error) {
+		cand := variants[i].plan
+		if cand.Order == nil && opts.ScheduleFromILP {
+			// Materialize ready-queue schedules as explicit orders
+			// so downstream consumers (e.g. the runtime executor)
+			// get control dependencies either way.
 			r, err := sim.Run(g, simSys, cand)
 			if err != nil {
-				continue
+				return variantOut{}, nil
 			}
-			if bestMk < 0 || r.Makespan < bestMk {
-				bestMk = r.Makespan
-				bestPlan = cand
-				bestCoarse = cp
+			oc, err := orderPlanByStarts(g, cand, r.Start, len(sys.Devices))
+			if err != nil {
+				return variantOut{}, nil
 			}
+			cand = oc
+		}
+		r, err := sim.Run(g, simSys, cand)
+		if err != nil {
+			return variantOut{}, nil
+		}
+		return variantOut{plan: cand, mk: r.Makespan, ok: true}, nil
+	})
+	if mapErr != nil {
+		return nil, fmt.Errorf("pesto: cancelled during candidate evaluation: %w", mapErr)
+	}
+	var bestPlan sim.Plan
+	var bestCoarse sim.Plan
+	bestMk := time.Duration(-1)
+	for i, o := range outs {
+		if o.Err != nil || !o.Value.ok {
+			continue
+		}
+		if bestMk < 0 || o.Value.mk < bestMk {
+			bestMk = o.Value.mk
+			bestPlan = o.Value.plan
+			bestCoarse = variants[i].coarse
 		}
 	}
 	if bestMk < 0 {
@@ -453,6 +523,11 @@ type heuristic struct {
 	orig *graph.Graph
 	cres *coarsen.Result
 	prio []float64 // cost-weighted bottom levels of orig, lazy
+	// pool evaluates independent candidates concurrently. Scoring is
+	// pure (scoreOriginal); all best-so-far recording happens on the
+	// submitting goroutine in submission order, so results are
+	// identical at any worker count.
+	pool *engine.Pool
 
 	// Global winner at original granularity (any source: seeds, ILP
 	// roundings, list-scheduling warm starts, refinement moves).
@@ -469,8 +544,9 @@ type heuristic struct {
 // search runs: all-on-GPU-0, alternation by topological index (two
 // phases), a contiguous compute-balanced split (the Expert shape), and
 // a layer-contiguous split. Each goes through colocation and memory
-// repair and both schedule disciplines.
-func (h *heuristic) seedAssignments() {
+// repair and both schedule disciplines; the seeds are scored
+// concurrently and recorded in submission order.
+func (h *heuristic) seedAssignments(ctx context.Context) {
 	order, err := h.cg.TopoSort()
 	if err != nil {
 		return
@@ -532,21 +608,43 @@ func (h *heuristic) seedAssignments() {
 	for _, assign := range seeds {
 		h.repairColocAssign(assign)
 		h.repairMemory(assign)
-		h.evalAssign(assign)
+	}
+	h.bottomLevels() // warm the lazy priority cache before fanning out
+	expanded := make([][]sim.DeviceID, len(seeds))
+	for i := range seeds {
+		expanded[i] = h.expandDevices(seeds[i])
+	}
+	outs, err := engine.Map(ctx, h.pool, len(seeds), func(_ context.Context, i int) (scored, error) {
+		return h.scoreOriginal(expanded[i]), nil
+	})
+	if err != nil {
+		return
+	}
+	for i, o := range outs {
+		if o.Err == nil && o.Value.ok {
+			h.adoptScored(seeds[i], expanded[i], o.Value)
+		}
 	}
 }
 
 // seedListScheduling warm-starts the search with greedy
 // earliest-start-time placements computed on the original graph (with
 // and without the SCT favorite-child bias), projected to this
-// granularity.
-func (h *heuristic) seedListScheduling() {
-	for _, sct := range []bool{false, true} {
-		dev, err := greedyETF(h.orig, h.simSystem(), sct)
-		if err != nil {
+// granularity. The two greedy builds run concurrently; adoption is
+// sequential in submission order.
+func (h *heuristic) seedListScheduling(ctx context.Context) {
+	simSys := h.simSystem()
+	outs, err := engine.Map(ctx, h.pool, 2, func(_ context.Context, i int) ([]sim.DeviceID, error) {
+		return greedyETF(h.orig, simSys, i == 1)
+	})
+	if err != nil {
+		return
+	}
+	for _, o := range outs {
+		if o.Err != nil {
 			continue
 		}
-		h.adoptOriginal(dev)
+		h.adoptOriginal(o.Value)
 	}
 }
 
@@ -679,41 +777,81 @@ func (h *heuristic) tryIncumbent(relaxed []float64) ([]float64, float64, bool) {
 	return x, h.coarseBestObj, true
 }
 
-// evalOriginal simulates an original-granularity device vector under
-// both schedule disciplines, recording the global best. It reports the
-// vector's own best objective.
-func (h *heuristic) evalOriginal(dev []sim.DeviceID) (float64, bool) {
+// scored is the outcome of scoring one device vector: its best
+// normalized makespan over the schedule disciplines tried and the
+// discipline that achieved it.
+type scored struct {
+	obj    float64
+	policy sim.SchedulePolicy
+	ok     bool
+}
+
+// scoreOriginal simulates an original-granularity device vector under
+// both schedule disciplines and reports the better one. It never
+// mutates the heuristic, so sibling scores may run concurrently —
+// provided bottomLevels has been warmed first (it backs the priority
+// plan and is itself lazily cached).
+func (h *heuristic) scoreOriginal(dev []sim.DeviceID) scored {
 	sys := h.simSystem()
-	obj, ok := math.Inf(1), false
+	out := scored{obj: math.Inf(1)}
 	for _, plan := range h.candidatePlans(dev) {
 		res, err := sim.Run(h.orig, sys, plan)
 		if err != nil {
 			continue
 		}
-		o := float64(res.Makespan) / float64(h.horizon)
-		if o < obj {
-			obj = o
+		if o := float64(res.Makespan) / float64(h.horizon); o < out.obj {
+			out.obj = o
+			out.policy = plan.Policy
 		}
-		if h.bestDev == nil || o < h.bestObj {
-			h.bestDev = append([]sim.DeviceID(nil), dev...)
-			h.bestObj = o
-			h.bestPolicy = plan.Policy
-		}
-		ok = true
+		out.ok = true
 	}
-	return obj, ok
+	return out
+}
+
+// recordOriginal merges one scored original-granularity vector into
+// the global best. Must be called from a single goroutine, in
+// submission order, so the winner is independent of worker count.
+func (h *heuristic) recordOriginal(dev []sim.DeviceID, s scored) {
+	if !s.ok {
+		return
+	}
+	if h.bestDev == nil || s.obj < h.bestObj {
+		h.bestDev = append([]sim.DeviceID(nil), dev...)
+		h.bestObj = s.obj
+		h.bestPolicy = s.policy
+	}
+}
+
+// adoptScored records a scored coarse assignment (with its expansion)
+// as both the original-granularity and refinement-level best when it
+// improves on them.
+func (h *heuristic) adoptScored(assign, expanded []sim.DeviceID, s scored) {
+	if !s.ok {
+		return
+	}
+	h.recordOriginal(expanded, s)
+	if h.coarseBest == nil || s.obj < h.coarseBestObj {
+		h.coarseBest = append([]sim.DeviceID(nil), assign...)
+		h.coarseBestObj = s.obj
+	}
+}
+
+// evalOriginal scores and records an original-granularity device
+// vector sequentially. It reports the vector's own best objective.
+func (h *heuristic) evalOriginal(dev []sim.DeviceID) (float64, bool) {
+	s := h.scoreOriginal(dev)
+	h.recordOriginal(dev, s)
+	return s.obj, s.ok
 }
 
 // evalAssign expands a coarse assignment onto the original graph,
 // evaluates it, and records it as the refinement starting point when it
 // improves on the coarse-level best.
 func (h *heuristic) evalAssign(assign []sim.DeviceID) (float64, bool) {
-	obj, ok := h.evalOriginal(h.expandDevices(assign))
-	if ok && (h.coarseBest == nil || obj < h.coarseBestObj) {
-		h.coarseBest = append([]sim.DeviceID(nil), assign...)
-		h.coarseBestObj = obj
-	}
-	return obj, ok
+	expanded := h.expandDevices(assign)
+	s := h.scoreOriginal(expanded)
+	h.adoptScored(assign, expanded, s)
+	return s.obj, s.ok
 }
 
 // adoptOriginal projects an original-graph device vector onto this
@@ -762,9 +900,14 @@ func (h *heuristic) expandDevices(assign []sim.DeviceID) []sim.DeviceID {
 }
 
 // refine hill-climbs the best assignment by flipping one coarse node
-// (or one colocation group) at a time, accepting improvements, until no
-// move helps or the deadline passes.
-func (h *heuristic) refine(ctx context.Context, deadline time.Time) {
+// (or one colocation group) at a time until no move helps or the
+// context's deadline passes. Each round scores every single-move
+// neighbour of the current assignment concurrently through the pool,
+// then applies the best strictly-improving one (earliest in move order
+// on ties). Because the candidate set of a round depends only on the
+// current assignment — never on worker count or completion order — the
+// climb visits the same sequence of assignments at any parallelism.
+func (h *heuristic) refine(ctx context.Context) {
 	if h.coarseBest == nil {
 		return
 	}
@@ -803,14 +946,17 @@ func (h *heuristic) refine(ctx context.Context, deadline time.Time) {
 		moves = append(moves, groups[k])
 	}
 
-	improved := true
-	for improved {
-		improved = false
+	h.bottomLevels() // warm the lazy priority cache before fanning out
+
+	type neighbour struct {
+		assign   []sim.DeviceID
+		expanded []sim.DeviceID
+	}
+	for {
+		// Enumerate every single-move neighbour of the current best.
+		var cands []neighbour
 		for _, mv := range moves {
 			for _, target := range gpus {
-				if ctx.Err() != nil || time.Now().After(deadline) {
-					return
-				}
 				if h.coarseBest[mv[0]] == target {
 					continue
 				}
@@ -818,12 +964,29 @@ func (h *heuristic) refine(ctx context.Context, deadline time.Time) {
 				for _, id := range mv {
 					cand[id] = target
 				}
-				before := h.coarseBestObj
-				if _, ok := h.evalAssign(cand); ok && h.coarseBestObj < before-1e-12 {
-					improved = true
-				}
+				cands = append(cands, neighbour{assign: cand, expanded: h.expandDevices(cand)})
 			}
 		}
+		outs, err := engine.Map(ctx, h.pool, len(cands), func(_ context.Context, i int) (scored, error) {
+			return h.scoreOriginal(cands[i].expanded), nil
+		})
+		if err != nil {
+			return // deadline or caller cancellation: keep the best so far
+		}
+		// Apply the best strictly-improving neighbour, first-wins on ties.
+		best := -1
+		for i, o := range outs {
+			if !o.Value.ok || o.Value.obj >= h.coarseBestObj-1e-12 {
+				continue
+			}
+			if best < 0 || o.Value.obj < outs[best].Value.obj {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		h.adoptScored(cands[best].assign, cands[best].expanded, outs[best].Value)
 	}
 }
 

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
 	"pesto/internal/graph"
 	"pesto/internal/ilp"
+	"pesto/internal/models"
 	"pesto/internal/sim"
 )
 
@@ -319,4 +321,107 @@ func TestPlaceILPOnlyMode(t *testing.T) {
 	if _, err := sim.Run(g, sys, res.Plan); err != nil {
 		t.Fatalf("simulate: %v", err)
 	}
+}
+
+// TestPlaceDeterministicAcrossWorkerCounts is the engine's core
+// guarantee: candidate generation and merging never depend on worker
+// count or completion order, so the same seed yields byte-identical
+// plans at any parallelism. The branch and bound is truncated by a
+// node cap (deterministic on every machine) rather than wall clock,
+// and the time budget is generous enough that refinement reaches its
+// local optimum before the deadline on every run — so each run's
+// search sees exactly the same candidates.
+func TestPlaceDeterministicAcrossWorkerCounts(t *testing.T) {
+	rnnlm := func(t *testing.T) *graph.Graph {
+		t.Helper()
+		v, err := models.FindVariant("RNNLM-small")
+		if err != nil {
+			t.Fatalf("FindVariant: %v", err)
+		}
+		g, err := v.Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		return g
+	}
+	cases := []struct {
+		name  string
+		build func(*testing.T) *graph.Graph
+		opts  Options
+	}{
+		{
+			name:  "figure2-toy",
+			build: figure2,
+			opts:  Options{CoarsenTarget: 8, ScheduleFromILP: true, ILPTimeLimit: 120 * time.Second, ILPMaxNodes: 24, Seed: 7},
+		},
+		{
+			name:  "rnnlm-small",
+			build: rnnlm,
+			opts: Options{
+				CoarsenTarget: 12, ILPMaxSize: 8, ScheduleFromILP: true,
+				ILPTimeLimit: 120 * time.Second, ILPMaxNodes: 8, Seed: 7,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.build(t)
+			sys := sim.NewSystem(2, gpuMem)
+			var ref *Result
+			for _, workers := range []int{1, 2, 8} {
+				opts := tc.opts
+				opts.Parallel = workers
+				res := place(t, g, sys, opts)
+				if ref == nil {
+					ref = res
+					continue
+				}
+				if !reflect.DeepEqual(res.Plan, ref.Plan) {
+					t.Errorf("workers=%d: plan differs from workers=1\n got: %+v\nwant: %+v", workers, res.Plan, ref.Plan)
+				}
+				if res.SimulatedMakespan != ref.SimulatedMakespan {
+					t.Errorf("workers=%d: makespan %v != %v", workers, res.SimulatedMakespan, ref.SimulatedMakespan)
+				}
+			}
+		})
+	}
+}
+
+// TestPlaceReturnsContextError: a cancelled caller gets ctx.Err back
+// (wrapped), never a partial plan.
+func TestPlaceCancelledContextReturnsError(t *testing.T) {
+	g := figure2(t)
+	sys := sim.NewSystem(2, gpuMem)
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res, err := Place(ctx, g, sys, Options{CoarsenTarget: 8, ILPTimeLimit: 5 * time.Second})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if res != nil {
+			t.Fatalf("got partial result %+v alongside cancellation", res)
+		}
+	})
+
+	t.Run("cancelled-mid-pipeline", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		res, err := Place(ctx, g, sys, Options{CoarsenTarget: 8, ILPTimeLimit: 5 * time.Second, Parallel: 2})
+		if err == nil {
+			// The toy can legitimately finish inside the timeout; only a
+			// partial-result-with-error combination would be a bug.
+			if res == nil {
+				t.Fatal("nil result and nil error")
+			}
+			return
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		}
+		if res != nil {
+			t.Fatalf("got partial result alongside %v", err)
+		}
+	})
 }

@@ -64,6 +64,29 @@ type Plan struct {
 	Seed int64
 }
 
+// Clone returns a deep copy of the plan. Simulation never mutates a
+// plan, so cloning is only needed when a caller wants to modify a plan
+// (e.g. generate refinement moves) while other goroutines still read
+// the original.
+func (p Plan) Clone() Plan {
+	out := Plan{Policy: p.Policy, Seed: p.Seed}
+	if p.Device != nil {
+		out.Device = append([]DeviceID(nil), p.Device...)
+	}
+	if p.Priority != nil {
+		out.Priority = append([]float64(nil), p.Priority...)
+	}
+	if p.Order != nil {
+		out.Order = make([][]graph.NodeID, len(p.Order))
+		for d, ids := range p.Order {
+			if ids != nil {
+				out.Order[d] = append([]graph.NodeID(nil), ids...)
+			}
+		}
+	}
+	return out
+}
+
 // Errors reported by Plan validation and simulation.
 var (
 	ErrBadPlacement = errors.New("invalid placement")

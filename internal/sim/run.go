@@ -109,6 +109,14 @@ type deviceState struct {
 // Run simulates one training step of g on sys under plan. It validates
 // the plan and the memory constraints first, returning ErrOOM when a
 // device's cumulative footprint exceeds its capacity.
+//
+// Run is re-entrant: all simulation state (event heap, device states,
+// link queues, the PolicyRandom RNG) is local to the call, and g, sys
+// and plan are only read, never written. Concurrent Runs may therefore
+// share all three, which is what lets the placement engine evaluate
+// many candidate plans in parallel against one graph and system. The
+// caller must only guarantee that nothing mutates g, sys or plan while
+// Runs are in flight (use Plan.Clone/System.Clone to mutate copies).
 func Run(g *graph.Graph, sys System, plan Plan) (Result, error) {
 	if err := plan.Validate(g, sys); err != nil {
 		return Result{}, err

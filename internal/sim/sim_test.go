@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -473,5 +474,94 @@ func TestHeterogeneousDeviceSpeeds(t *testing.T) {
 	}
 	if res.Finish[a] != 100*time.Microsecond || res.Finish[b] != 50*time.Microsecond {
 		t.Fatalf("finish times %v %v, want 100µs and 50µs", res.Finish[a], res.Finish[b])
+	}
+}
+
+func TestPlanCloneIsDeep(t *testing.T) {
+	p := Plan{
+		Device:   []DeviceID{1, 2, 1},
+		Order:    [][]graph.NodeID{nil, {0, 2}, {1}},
+		Policy:   PolicyPriority,
+		Priority: []float64{3, 2, 1},
+		Seed:     7,
+	}
+	c := p.Clone()
+	c.Device[0] = 2
+	c.Order[1][0] = 1
+	c.Priority[0] = 99
+	if p.Device[0] != 1 || p.Order[1][0] != 0 || p.Priority[0] != 3 {
+		t.Fatalf("Clone shares backing storage with original: %+v", p)
+	}
+	if c.Policy != p.Policy || c.Seed != p.Seed {
+		t.Fatalf("Clone dropped scalar fields: %+v", c)
+	}
+	if p.Order[0] != nil || c.Order[0] != nil {
+		t.Fatal("nil inner order must stay nil")
+	}
+}
+
+func TestSystemCloneIsIndependent(t *testing.T) {
+	sys := NewMultiHostSystem(2, 2, gpuMem)
+	c := sys.Clone()
+	c.Devices[1].Speed = 99
+	for k := range c.LinkOverrides {
+		m := c.LinkOverrides[k]
+		m.Beta1 *= 100
+		c.LinkOverrides[k] = m
+		break
+	}
+	if sys.Devices[1].Speed == 99 {
+		t.Fatal("Clone shares the Devices slice")
+	}
+	for k, m := range sys.LinkOverrides {
+		if c.LinkOverrides[k].Beta1 != m.Beta1 {
+			// exactly one key was perturbed in the clone; the original
+			// must be untouched
+			if m.Beta1 == c.LinkOverrides[k].Beta1 {
+				t.Fatal("Clone shares the LinkOverrides map")
+			}
+		}
+	}
+}
+
+// TestRunIsReentrant runs many simulations of the same graph, system
+// and plan concurrently and checks they all agree with a sequential
+// run — the property the placement engine relies on to evaluate
+// candidates in parallel (run it under -race to audit sharing).
+func TestRunIsReentrant(t *testing.T) {
+	g := graph.New(8)
+	var prev graph.NodeID = -1
+	for i := 0; i < 8; i++ {
+		id := g.AddNode(gpuNode(time.Duration(10+i) * time.Microsecond))
+		if prev >= 0 {
+			mustEdge(t, g, prev, id, 1<<16)
+		}
+		prev = id
+	}
+	sys := NewSystem(2, gpuMem)
+	plan := Plan{Device: []DeviceID{1, 1, 2, 2, 1, 1, 2, 2}, Policy: PolicyFIFO}
+	want, err := Run(g, sys, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	got := make([]time.Duration, 16)
+	errs := make([]error, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := Run(g, sys, plan)
+			got[i], errs[i] = r.Makespan, err
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatalf("concurrent run %d: %v", i, errs[i])
+		}
+		if got[i] != want.Makespan {
+			t.Fatalf("concurrent run %d: makespan %v != sequential %v", i, got[i], want.Makespan)
+		}
 	}
 }

@@ -103,6 +103,25 @@ func NewSystem(numGPUs int, gpuMemory int64) System {
 	return s
 }
 
+// Clone returns a copy of the system whose Devices slice and
+// LinkOverrides map are independent of the receiver's, so the copy can
+// be mutated (speed scaling, memory lifting) while other goroutines
+// still read the original. The communication cost model is shared: it
+// is immutable after construction (Scaled returns a new model).
+func (s System) Clone() System {
+	out := System{Comm: s.Comm, CongestionFree: s.CongestionFree}
+	if s.Devices != nil {
+		out.Devices = append([]Device(nil), s.Devices...)
+	}
+	if s.LinkOverrides != nil {
+		out.LinkOverrides = make(map[[2]DeviceID]comm.Model, len(s.LinkOverrides))
+		for k, m := range s.LinkOverrides {
+			out.LinkOverrides[k] = m
+		}
+	}
+	return out
+}
+
 // CPUID returns the device ID of the host CPU.
 func (s System) CPUID() DeviceID { return 0 }
 
