@@ -7,7 +7,7 @@
 //
 // Experiment names: figure2, figure4a, figure4b, table1, figure5,
 // figure7, table2, table3, figure8a, figure8b, coarsening, validation,
-// extended, multigpu.
+// extended, multigpu, resilience.
 package main
 
 import (
@@ -70,6 +70,7 @@ func run(args []string) error {
 		{"validation", func() (fmt.Stringer, error) { return experiments.SimulatorValidation(ctx, cfg) }},
 		{"extended", func() (fmt.Stringer, error) { return experiments.ExtendedBaselines(ctx, cfg) }},
 		{"multigpu", func() (fmt.Stringer, error) { return experiments.MultiGPU(ctx, cfg) }},
+		{"resilience", func() (fmt.Stringer, error) { return experiments.Resilience(ctx, cfg) }},
 	}
 	ran := 0
 	for _, e := range exps {

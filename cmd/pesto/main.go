@@ -7,6 +7,7 @@
 //	pesto -model RNNLM-2-2048 [-strategy pesto|expert|baechi|single]
 //	      [-ilp-time 10s] [-ilp-max-nodes N] [-parallel N]
 //	      [-coarsen 192] [-gpus 2] [-gpu-mem-gb 16]
+//	      [-fault-spec "seed=42;straggler:p=0.1;fail:2@5ms"] [-replan N]
 //	      [-timeline N] [-dot out.dot]
 package main
 
@@ -40,6 +41,8 @@ func run(args []string) error {
 		coarsen  = fs.Int("coarsen", 0, "coarsening target (0 = default)")
 		gpus     = fs.Int("gpus", 2, "number of GPUs")
 		gpuMemGB = fs.Int64("gpu-mem-gb", 16, "GPU memory in GiB")
+		faultStr = fs.String("fault-spec", "", `fault schedule for the simulated step, e.g. "seed=42;straggler:p=0.1,mult=8;link:0-1,scale=4;mem:2,frac=0.5@2ms;fail:2@5ms"`)
+		replan   = fs.Int("replan", -1, "fail this device after placement and replan onto the survivors")
 		timeline = fs.Int("timeline", 0, "print the first N inter-GPU transfers")
 		gantt    = fs.Bool("gantt", false, "print a text Gantt chart of the step")
 		planOut  = fs.String("plan-out", "", "write the chosen plan as JSON to this file")
@@ -92,6 +95,9 @@ func run(args []string) error {
 		plan = res.Plan
 		fmt.Printf("pesto: coarse=%d vertices, ilp=%v (gap %.3f, %d nodes), placement time %v\n",
 			res.CoarseSize, res.ILPStatus, res.Gap, res.Nodes, res.PlacementTime.Round(time.Millisecond))
+		if perr := res.Provenance.Err(); perr != nil {
+			fmt.Println("warning:", perr)
+		}
 	case "expert":
 		branchy := false
 		for _, v := range pesto.ModelVariants() {
@@ -124,13 +130,53 @@ func run(args []string) error {
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
 
-	step, err := pesto.Simulate(g, sys, plan)
-	if err != nil {
-		if errors.Is(err, pesto.ErrOOM) {
-			fmt.Println("result: OOM —", err)
-			return nil
+	if *replan >= 0 {
+		rr, err := pesto.Replan(context.Background(), g, sys, plan, pesto.DeviceID(*replan), pesto.PlaceOptions{
+			ILPTimeLimit:  *ilpTime,
+			CoarsenTarget: *coarsen,
+			Parallel:      *parallel,
+		})
+		if err != nil {
+			return fmt.Errorf("replan after failing device %d: %w", *replan, err)
 		}
-		return err
+		fmt.Printf("replan: device %d failed; migrated %d ops in %v; per-step %v (was %v, recovery delta %+v)\n",
+			*replan, rr.Migrated, rr.PlacementTime.Round(time.Millisecond),
+			rr.Makespan, rr.PrevMakespan, rr.RecoveryDelta)
+		plan = rr.Plan
+		sys = rr.Survivors
+	}
+
+	var step pesto.StepResult
+	if *faultStr != "" {
+		spec, err := pesto.ParseFaultSpec(*faultStr)
+		if err != nil {
+			return err
+		}
+		inj := pesto.NewFaultInjector(spec)
+		fmt.Print(inj.Schedule())
+		step, err = pesto.SimulateWithFaults(g, sys, plan, inj)
+		if err != nil {
+			if errors.Is(err, pesto.ErrDeviceFailed) {
+				fmt.Println("result: device failure —", err)
+				fmt.Println("hint: rerun with -replan to recover onto the survivors")
+				return nil
+			}
+			if errors.Is(err, pesto.ErrOOM) {
+				fmt.Println("result: OOM —", err)
+				return nil
+			}
+			return err
+		}
+	} else {
+		var err error
+		step, err = pesto.Simulate(g, sys, plan)
+		if err != nil {
+			if errors.Is(err, pesto.ErrOOM) {
+				fmt.Println("result: OOM —", err)
+				return nil
+			}
+			return err
+		}
 	}
 	fmt.Printf("per-step training time: %v\n", step.Makespan)
 	for _, d := range sys.Devices {

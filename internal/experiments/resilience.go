@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"pesto/internal/fault"
+	"pesto/internal/placement"
+	"pesto/internal/sim"
+)
+
+// ResilienceRow is one fault scenario realized against the Pesto plan:
+// the per-step time under injection, how the step ended, and — for
+// whole-device failures — the replanned per-step time on the survivors
+// and its delta over the healthy baseline.
+type ResilienceRow struct {
+	Scenario string
+	Spec     string
+	// Faulty is the per-step time under injection (zero when the step
+	// aborted).
+	Faulty time.Duration
+	// Outcome classifies the step: "ok", "device-failed" or "oom".
+	Outcome string
+	// Recovered is the replanned per-step time after a device failure.
+	Recovered time.Duration
+	// Delta is Recovered minus the healthy baseline.
+	Delta time.Duration
+	// Migrated counts operations moved off the failed device.
+	Migrated int
+}
+
+// ResilienceResult is the fault-injection and recovery study —
+// robustness extension beyond the paper's tables.
+type ResilienceResult struct {
+	Model   string
+	Healthy time.Duration
+	Rows    []ResilienceRow
+}
+
+func (r ResilienceResult) String() string {
+	rows := make([]string, 0, len(r.Rows)+1)
+	rows = append(rows, fmt.Sprintf("%-22s healthy per-step %v", "baseline", r.Healthy))
+	for _, row := range r.Rows {
+		switch row.Outcome {
+		case "device-failed":
+			rows = append(rows, fmt.Sprintf("%-22s step aborted (%s); replanned per-step %v (delta %+v, %d ops migrated)",
+				row.Scenario, row.Outcome, row.Recovered, row.Delta, row.Migrated))
+		case "ok":
+			rows = append(rows, fmt.Sprintf("%-22s per-step %v (%.2fx healthy)",
+				row.Scenario, row.Faulty, float64(row.Faulty)/float64(r.Healthy)))
+		default:
+			rows = append(rows, fmt.Sprintf("%-22s step aborted (%s)", row.Scenario, row.Outcome))
+		}
+	}
+	return table(fmt.Sprintf("Resilience: fault injection and recovery on %s", r.Model), rows)
+}
+
+// Resilience places one workload with Pesto, then replays the step
+// under a ladder of fault scenarios — heavy-tailed stragglers, link
+// degradation, shrinking GPU memory, whole-device failure — and, for
+// the failure, replans onto the survivors and reports the recovery
+// delta. All scenarios derive from Config.Seed and are deterministic.
+func Resilience(ctx context.Context, cfg Config) (ResilienceResult, error) {
+	cfg = cfg.withDefaults()
+	v := cfg.variants()[0]
+	out := ResilienceResult{Model: v.Name}
+	g, err := v.Build()
+	if err != nil {
+		return out, err
+	}
+	sys := *cfg.Sys
+	res, err := placement.Place(ctx, g, sys, cfg.placeOpts())
+	if err != nil {
+		return out, fmt.Errorf("%s: %w", v.Name, err)
+	}
+	healthy, err := sim.Run(g, sys, res.Plan)
+	if err != nil {
+		return out, fmt.Errorf("%s healthy step: %w", v.Name, err)
+	}
+	out.Healthy = healthy.Makespan
+
+	// The paper's testbed indexes cpu:0 as device 0; GPUs follow.
+	gpus := sys.GPUs()
+	victim := gpus[len(gpus)-1]
+	mid := healthy.Makespan / 2
+	scenarios := []struct {
+		name string
+		spec string
+	}{
+		{"stragglers", fmt.Sprintf("seed=%d;straggler:p=0.1,mult=8", cfg.Seed)},
+		{"link-degraded", fmt.Sprintf("seed=%d;link:*,scale=4,stall=%s@%s", cfg.Seed, mid/4, mid/4)},
+		{"mem-shrink", fmt.Sprintf("seed=%d;mem:%d,frac=0.01@%s", cfg.Seed, victim, mid)},
+		{"device-failure", fmt.Sprintf("seed=%d;fail:%d@%s", cfg.Seed, victim, mid)},
+	}
+	for _, sc := range scenarios {
+		spec, err := fault.ParseSpec(sc.spec)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", sc.name, err)
+		}
+		row := ResilienceRow{Scenario: sc.name, Spec: sc.spec}
+		r, rerr := sim.RunInjected(g, sys, res.Plan, fault.New(spec))
+		switch {
+		case rerr == nil:
+			row.Outcome = "ok"
+			row.Faulty = r.Makespan
+		case errors.Is(rerr, sim.ErrDeviceFailed):
+			row.Outcome = "device-failed"
+			rr, perr := placement.Replan(ctx, g, sys, res.Plan, victim, cfg.placeOpts())
+			if perr != nil {
+				return out, fmt.Errorf("%s replan: %w", sc.name, perr)
+			}
+			row.Recovered = rr.Makespan
+			row.Delta = rr.Makespan - out.Healthy
+			row.Migrated = rr.Migrated
+		case errors.Is(rerr, sim.ErrOOM):
+			row.Outcome = "oom"
+		default:
+			return out, fmt.Errorf("%s: %w", sc.name, rerr)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,230 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pesto/internal/graph"
+	"pesto/internal/sim"
+)
+
+func TestParseSpecFull(t *testing.T) {
+	spec, err := ParseSpec("seed=42;straggler:p=0.05,mult=8;link:1-2,scale=4,stall=100us@1ms;link:*,scale=2;mem:2,frac=0.5@2ms;fail:2@5ms")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if spec.Seed != 42 {
+		t.Errorf("Seed = %d", spec.Seed)
+	}
+	st := spec.Straggler
+	if st == nil || st.P != 0.05 || st.Mult != 8 || st.Tail != 1.5 {
+		t.Errorf("Straggler = %+v, want p=0.05 mult=8 tail=1.5 (default)", st)
+	}
+	if len(spec.Links) != 2 {
+		t.Fatalf("Links = %d, want 2", len(spec.Links))
+	}
+	lf := spec.Links[0]
+	if lf.From != 1 || lf.To != 2 || lf.Scale != 4 || lf.StallDur != 100*time.Microsecond || lf.StallAt != time.Millisecond {
+		t.Errorf("link fault = %+v", lf)
+	}
+	if !spec.Links[1].Wildcard || spec.Links[1].Scale != 2 {
+		t.Errorf("wildcard link = %+v", spec.Links[1])
+	}
+	if len(spec.Mem) != 1 || spec.Mem[0].Dev != 2 || spec.Mem[0].Frac != 0.5 || spec.Mem[0].At != 2*time.Millisecond {
+		t.Errorf("mem fault = %+v", spec.Mem)
+	}
+	if len(spec.Fail) != 1 || spec.Fail[0].Dev != 2 || spec.Fail[0].At != 5*time.Millisecond {
+		t.Errorf("fail = %+v", spec.Fail)
+	}
+}
+
+func TestParseSpecEmpty(t *testing.T) {
+	spec, err := ParseSpec("")
+	if err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	if spec.Straggler != nil || spec.Links != nil || spec.Mem != nil || spec.Fail != nil {
+		t.Fatalf("empty spec not empty: %+v", spec)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []string{
+		"bogus",
+		"seed=abc",
+		"straggler:p=2",           // p > 1
+		"straggler:p=NaN",         // NaN
+		"straggler:mult=0.5",      // mult < 1
+		"straggler:tail=0",        // tail <= 0
+		"straggler:tail=+Inf",     // inf
+		"straggler:wat=1",         // unknown key
+		"straggler:p",             // not key=value
+		"link:12",                 // no FROM-TO
+		"link:a-b",                // bad endpoints
+		"link:1-2,scale=0",        // scale <= 0
+		"link:1-2,stall=1ms",      // missing @AT
+		"link:1-2,stall=-1ms@1ms", // negative duration
+		"link:1-2,huh=3",          // unknown key
+		"mem:1",                   // missing frac
+		"mem:1,frac=1.5@1ms",      // frac > 1
+		"mem:1,frac=0.5",          // missing @AT
+		"mem:-2,frac=0.5@1ms",     // device out of range
+		"mem:99999999,frac=0.5@1ms",
+		"fail:1",     // missing @AT
+		"fail:x@1ms", // bad device
+		"fail:1@-1s", // negative time
+	}
+	for _, c := range cases {
+		if _, err := ParseSpec(c); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("ParseSpec(%q) = %v, want ErrBadSpec", c, err)
+		}
+	}
+}
+
+func TestOpDurationPureAndHeavyTailed(t *testing.T) {
+	in := New(Spec{Seed: 7, Straggler: &Straggler{P: 0.3, Mult: 4, Tail: 1.5}})
+	base := 100 * time.Microsecond
+	straggled := 0
+	const nOps = 2000
+	for id := graph.NodeID(0); id < nOps; id++ {
+		d1 := in.OpDuration(id, 1, 0, base)
+		// Purity: same (seed, id) at a different device, start time and
+		// repeat call gives the same answer.
+		if d2 := in.OpDuration(id, 2, time.Second, base); d2 != d1 {
+			t.Fatalf("op %d: duration depends on device/start: %v vs %v", id, d1, d2)
+		}
+		if d1 < base {
+			t.Fatalf("op %d: injected duration %v below base %v", id, d1, base)
+		}
+		if d1 > base {
+			straggled++
+			if d1 < 4*base {
+				t.Fatalf("op %d: straggler factor %.2f below mult", id, float64(d1)/float64(base))
+			}
+			if d1 > time.Duration(1e4*float64(base)) {
+				t.Fatalf("op %d: straggler factor uncapped: %v", id, d1)
+			}
+		}
+	}
+	frac := float64(straggled) / nOps
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("straggler fraction %.3f far from p=0.3", frac)
+	}
+	// A different seed straggles a different subset.
+	other := New(Spec{Seed: 8, Straggler: &Straggler{P: 0.3, Mult: 4, Tail: 1.5}})
+	same := 0
+	for id := graph.NodeID(0); id < nOps; id++ {
+		if (in.OpDuration(id, 1, 0, base) > base) == (other.OpDuration(id, 1, 0, base) > base) {
+			same++
+		}
+	}
+	if same == nOps {
+		t.Fatal("seed has no effect on straggler selection")
+	}
+}
+
+func TestTransferDurationScaleAndStall(t *testing.T) {
+	in := New(Spec{Links: []LinkFault{{From: 1, To: 2, Scale: 4, StallAt: time.Millisecond, StallDur: 100 * time.Microsecond}}})
+	base := 10 * time.Microsecond
+	if got := in.TransferDuration(1, 2, 1024, 0, base); got != 4*base {
+		t.Errorf("scaled transfer = %v, want %v", got, 4*base)
+	}
+	if got := in.TransferDuration(2, 1, 1024, 0, base); got != base {
+		t.Errorf("unmatched link perturbed: %v", got)
+	}
+	// A start inside the stall window is held to the window end.
+	start := time.Millisecond + 30*time.Microsecond
+	want := 4*base + (70 * time.Microsecond)
+	if got := in.TransferDuration(1, 2, 1024, start, base); got != want {
+		t.Errorf("stalled transfer = %v, want %v", got, want)
+	}
+	// At or past the window end: no stall.
+	if got := in.TransferDuration(1, 2, 1024, time.Millisecond+100*time.Microsecond, base); got != 4*base {
+		t.Errorf("post-window transfer = %v, want %v", got, 4*base)
+	}
+	wild := New(Spec{Links: []LinkFault{{Wildcard: true, Scale: 2}}})
+	if got := wild.TransferDuration(3, 4, 1, 0, base); got != 2*base {
+		t.Errorf("wildcard link = %v, want %v", got, 2*base)
+	}
+}
+
+func TestDeviceCapacityShrinks(t *testing.T) {
+	in := New(Spec{Mem: []MemFault{
+		{Dev: 2, Frac: 0.5, At: time.Millisecond},
+		{Dev: 2, Frac: 0.25, At: 2 * time.Millisecond},
+	}})
+	const base = int64(1000)
+	if got := in.DeviceCapacity(2, 0, base); got != base {
+		t.Errorf("capacity before fault = %d", got)
+	}
+	if got := in.DeviceCapacity(2, time.Millisecond, base); got != 500 {
+		t.Errorf("capacity after first fault = %d, want 500", got)
+	}
+	if got := in.DeviceCapacity(2, 3*time.Millisecond, base); got != 250 {
+		t.Errorf("capacity after both faults = %d, want 250 (min wins)", got)
+	}
+	if got := in.DeviceCapacity(1, 3*time.Millisecond, base); got != base {
+		t.Errorf("unrelated device shrunk to %d", got)
+	}
+}
+
+func TestFailureTimeEarliestWins(t *testing.T) {
+	in := New(Spec{Fail: []DeviceFailure{{Dev: 1, At: 5 * time.Millisecond}, {Dev: 1, At: 2 * time.Millisecond}}})
+	at, ok := in.FailureTime(1)
+	if !ok || at != 2*time.Millisecond {
+		t.Fatalf("FailureTime = %v,%v, want 2ms,true", at, ok)
+	}
+	if _, ok := in.FailureTime(2); ok {
+		t.Fatal("unconfigured device reported a failure time")
+	}
+}
+
+func TestScheduleCanonical(t *testing.T) {
+	const s = "seed=9;straggler:p=0.1,mult=4;fail:3@2ms;fail:1@1ms;mem:2,frac=0.5@1ms"
+	a, err := ParseSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ParseSpec(s)
+	if New(a).Schedule() != New(b).Schedule() {
+		t.Fatal("identical specs render different schedules")
+	}
+	if New(a).Schedule() == "" {
+		t.Fatal("empty schedule")
+	}
+}
+
+func TestInjectorIsSimInjector(t *testing.T) {
+	var _ sim.Injector = New(Spec{})
+}
+
+// FuzzParseSpec: arbitrary bytes must never panic, and every accepted
+// spec must be realizable as an injector whose hooks are callable.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("seed=42;straggler:p=0.05,mult=8;link:1-2,scale=4,stall=100us@1ms;mem:2,frac=0.5@2ms;fail:2@5ms")
+	f.Add("link:*,scale=2")
+	f.Add("straggler:p=1,tail=0.1")
+	f.Add(";;;")
+	f.Add("seed=-1;fail:0@0s")
+	f.Add("mem:0,frac=0@0s")
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("non-ErrBadSpec error: %v", err)
+			}
+			return
+		}
+		in := New(spec)
+		_ = in.Schedule()
+		if d := in.OpDuration(3, 1, 0, time.Microsecond); d < 0 {
+			t.Fatalf("negative op duration %v", d)
+		}
+		_ = in.TransferDuration(1, 2, 1024, 0, time.Microsecond)
+		if c := in.DeviceCapacity(1, time.Millisecond, 1<<20); c < 0 || c > 1<<20 {
+			t.Fatalf("capacity %d outside [0, base]", c)
+		}
+		_, _ = in.FailureTime(1)
+	})
+}

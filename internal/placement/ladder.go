@@ -1,0 +1,268 @@
+package placement
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"pesto/internal/baselines"
+	"pesto/internal/graph"
+	"pesto/internal/ilp"
+	"pesto/internal/sim"
+)
+
+// Errors reported by the degradation ladder.
+var (
+	// ErrDegraded marks plans produced by a fallback rung of the
+	// ladder rather than the exact pipeline. It is never returned as
+	// Place's error when a fallback succeeds — the plan is valid — but
+	// Result.Provenance.Err() wraps it so callers can errors.Is-match
+	// degraded outcomes. Replan results wrap it too: a post-failure
+	// plan is by definition degraded.
+	ErrDegraded = errors.New("degraded placement")
+	// ErrStagePanic marks a ladder stage that panicked; the panic is
+	// recovered into an error and the ladder moves on to the next rung.
+	ErrStagePanic = errors.New("placement stage panicked")
+)
+
+// Stage names one rung of the degradation ladder.
+type Stage int
+
+const (
+	// StageILP is the exact pipeline: coarsen, branch-and-bound ILP,
+	// warm starts and refinement (placeILP).
+	StageILP Stage = iota + 1
+	// StageRefine is the ILP-free pipeline: warm-start seeds, greedy
+	// list-scheduling placements and hill-climbing refinement
+	// (placeRefine) — also the primary pipeline for k > 2 GPUs.
+	StageRefine
+	// StageFallback is the last rung: the best of the Baechi
+	// heuristics, HEFT and single-GPU, simulated and picked by
+	// realized makespan (placeFallback). Near-instant.
+	StageFallback
+	// StageReplan marks plans produced by Replan after a device
+	// failure.
+	StageReplan
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageILP:
+		return "ilp-exact"
+	case StageRefine:
+		return "warm-start+refine"
+	case StageFallback:
+		return "heuristic-fallback"
+	case StageReplan:
+		return "replan"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// StageAttempt records one failed attempt at one rung.
+type StageAttempt struct {
+	Stage   Stage
+	Attempt int // 1-based attempt number within the stage
+	Err     error
+	Elapsed time.Duration
+}
+
+// Provenance records how a plan was obtained: the rung that produced
+// it and every failed attempt before it. Callers use it to tell an
+// optimal plan from a degraded one.
+type Provenance struct {
+	// Stage is the rung that produced the returned plan.
+	Stage Stage
+	// Degraded is true when a fallback rung (not the ladder's first)
+	// produced the plan.
+	Degraded bool
+	// Attempts lists the failed attempts, in order.
+	Attempts []StageAttempt
+}
+
+// Err returns nil for a non-degraded result, and otherwise an error
+// wrapping ErrDegraded that describes the fallback and what the
+// earlier rungs died of — errors.Is(p.Err(), ErrDegraded) is the
+// degradation check.
+func (p Provenance) Err() error {
+	if !p.Degraded {
+		return nil
+	}
+	var b strings.Builder
+	for i, a := range p.Attempts {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%v attempt %d: %v", a.Stage, a.Attempt, a.Err)
+	}
+	return fmt.Errorf("%w: served by %v after [%s]", ErrDegraded, p.Stage, b.String())
+}
+
+// stageFunc is one rung's implementation.
+type stageFunc func(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*Result, error)
+
+// stageDef pairs a rung with its implementation.
+type stageDef struct {
+	stage Stage
+	run   stageFunc
+}
+
+// Place runs the Pesto placement-and-scheduling pipeline as a
+// graceful-degradation ladder:
+//
+//  1. the exact pipeline (coarsen → ILP branch and bound → warm starts
+//     → refinement),
+//  2. the ILP-free warm-start + refinement pipeline,
+//  3. the best baseline heuristic (Baechi family, HEFT, single-GPU).
+//
+// Each rung runs under its own deadline with bounded retry/backoff
+// (Options.StageRetries/StageBackoff), and panics inside a rung are
+// recovered into errors — a crashing or stalling solver degrades the
+// answer instead of taking the caller down. The rung that produced the
+// returned plan is recorded in Result.Provenance; use
+// Provenance.Err() (wrapping ErrDegraded) to detect fallbacks.
+// Cancelling ctx aborts the whole ladder and returns the context
+// error: caller cancellation is never degraded around.
+//
+// Options.DisableFallback restores the bare exact pipeline.
+func Place(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if len(sys.GPUs()) != 2 {
+		return nil, fmt.Errorf("pesto: system has %d usable GPUs: %w", len(sys.GPUs()), ErrUnsupportedSystem)
+	}
+	if opts.DisableFallback {
+		return placeILP(ctx, g, sys, opts)
+	}
+	return runLadder(ctx, g, sys, opts, []stageDef{
+		{StageILP, placeILP},
+		{StageRefine, placeRefine},
+		{StageFallback, placeFallback},
+	})
+}
+
+// runLadder walks the stages in order until one returns a plan. Every
+// attempt is panic-recovered; each gets the remaining overall budget
+// (floored so the cheap fallback rungs always get a chance) and a hard
+// backstop deadline at twice its nominal budget, which is what cuts a
+// stalled solver loose.
+func runLadder(ctx context.Context, g *graph.Graph, sys sim.System, opts Options, stages []stageDef) (*Result, error) {
+	start := time.Now()
+	total := opts.ILPTimeLimit
+	var attempts []StageAttempt
+	for si, st := range stages {
+		budget := total - time.Since(start)
+		if budget < 50*time.Millisecond {
+			budget = 50 * time.Millisecond
+		}
+		for attempt := 1; attempt <= 1+opts.StageRetries; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("pesto: cancelled during %v: %w", st.stage, err)
+			}
+			attemptStart := time.Now()
+			res, err := runStageAttempt(ctx, g, sys, opts, st, budget)
+			if err == nil {
+				res.Provenance = Provenance{Stage: st.stage, Degraded: si > 0, Attempts: attempts}
+				res.PlacementTime = time.Since(start)
+				return res, nil
+			}
+			attempts = append(attempts, StageAttempt{
+				Stage: st.stage, Attempt: attempt, Err: err, Elapsed: time.Since(attemptStart),
+			})
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("pesto: cancelled during %v: %w", st.stage, err)
+			}
+			// A stage that already ran out its deadline will do so
+			// again; don't burn the next rung's budget re-proving it.
+			if attempt <= opts.StageRetries && !errors.Is(err, context.DeadlineExceeded) {
+				time.Sleep(opts.StageBackoff)
+			} else {
+				break
+			}
+		}
+	}
+	p := Provenance{Degraded: true, Attempts: attempts}
+	return nil, fmt.Errorf("pesto: every ladder stage failed (%w): %w", p.Err(), ErrNoPlacement)
+}
+
+// runStageAttempt runs one rung attempt under its budget, converting
+// panics (a crashing solver, an injected fault) into errors.
+func runStageAttempt(ctx context.Context, g *graph.Graph, sys sim.System, opts Options, st stageDef, budget time.Duration) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("stage %v: %v: %w", st.stage, r, ErrStagePanic)
+		}
+	}()
+	if opts.StageHook != nil {
+		if herr := opts.StageHook(st.stage); herr != nil {
+			return nil, fmt.Errorf("stage %v: %w", st.stage, herr)
+		}
+	}
+	// The stage plans against its share of the budget; the hard
+	// backstop (2× budget plus slack) only fires when the stage stalls
+	// past its own internal deadline discipline.
+	stageOpts := opts
+	stageOpts.ILPTimeLimit = budget
+	sctx, cancel := context.WithDeadline(ctx, time.Now().Add(2*budget+250*time.Millisecond))
+	defer cancel()
+	return st.run(sctx, g, sys, stageOpts)
+}
+
+// placeFallback is the ladder's last rung: every baseline strategy the
+// repository implements, realized on the simulator, best makespan
+// wins. It needs no solver, no search budget and no luck — some plan
+// always comes back for any system with at least one healthy GPU.
+func placeFallback(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*Result, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pesto fallback: %w", err)
+	}
+	type namedPlan struct {
+		name string
+		plan sim.Plan
+		err  error
+	}
+	var cands []namedPlan
+	if bp, h, _, berr := baselines.BestBaechi(g, sys); berr == nil {
+		cands = append(cands, namedPlan{name: "baechi-" + h.String(), plan: bp})
+	}
+	if hp, herr := baselines.HEFT(g, sys); herr == nil {
+		cands = append(cands, namedPlan{name: "heft", plan: hp})
+	}
+	if sp, serr := baselines.SingleGPU(g, sys); serr == nil {
+		cands = append(cands, namedPlan{name: "single-gpu", plan: sp})
+	}
+	var bestPlan sim.Plan
+	var bestRes sim.Result
+	bestMk := time.Duration(-1)
+	for _, c := range cands {
+		r, err := sim.Run(g, sys, c.plan)
+		if err != nil {
+			continue
+		}
+		if bestMk < 0 || r.Makespan < bestMk {
+			bestMk, bestPlan, bestRes = r.Makespan, c.plan, r
+		}
+	}
+	if bestMk < 0 {
+		return nil, fmt.Errorf("pesto fallback: no baseline heuristic yields a feasible plan: %w", ErrNoPlacement)
+	}
+	if opts.ScheduleFromILP {
+		ordered, err := orderPlanByStarts(g, bestPlan, bestRes.Start, len(sys.Devices))
+		if err == nil {
+			if _, serr := sim.Run(g, sys, ordered); serr == nil {
+				bestPlan = ordered
+			}
+		}
+	}
+	return &Result{
+		Plan:              bestPlan,
+		ILPStatus:         ilp.NoSolutionStatus,
+		PredictedMakespan: bestMk,
+		SimulatedMakespan: bestMk,
+		PlacementTime:     time.Since(start),
+	}, nil
+}

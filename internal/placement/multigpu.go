@@ -28,10 +28,30 @@ func PlaceMultiGPU(ctx context.Context, g *graph.Graph, sys sim.System, opts Opt
 		return Place(ctx, g, sys, opts)
 	}
 	if len(gpus) < 2 {
-		return nil, fmt.Errorf("pesto: system has %d GPUs: %w", len(gpus), ErrUnsupportedSystem)
+		return nil, fmt.Errorf("pesto: system has %d usable GPUs: %w", len(gpus), ErrUnsupportedSystem)
 	}
+	opts = opts.withDefaults()
+	if opts.DisableFallback {
+		return placeRefine(ctx, g, sys, opts)
+	}
+	// k > 2 has no exact rung; its ladder is refine → heuristics.
+	return runLadder(ctx, g, sys, opts, []stageDef{
+		{StageRefine, placeRefine},
+		{StageFallback, placeFallback},
+	})
+}
+
+// placeRefine is the ILP-free pipeline: warm-start seeds, greedy
+// list-scheduling placements, colocation/memory repair and
+// hill-climbing refinement, all evaluated through the simulator. It is
+// the primary pipeline for k > 2 GPUs and the middle rung of the
+// two-GPU degradation ladder (it works for any k >= 1).
+func placeRefine(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*Result, error) {
 	start := time.Now()
 	opts = opts.withDefaults()
+	if len(sys.GPUs()) < 1 {
+		return nil, fmt.Errorf("pesto: system has no usable GPUs: %w", ErrUnsupportedSystem)
+	}
 
 	cres, err := coarsen.Coarsen(g, coarsen.Options{Target: opts.CoarsenTarget})
 	if err != nil {

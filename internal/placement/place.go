@@ -92,6 +92,25 @@ type Options struct {
 	// fixed Seed at every Parallel value: the engine merges results in
 	// submission order, so parallelism changes only the wall clock.
 	Parallel int
+	// StageRetries is the number of extra attempts each rung of the
+	// degradation ladder gets after its first failure (panic or error),
+	// with a short backoff in between; zero means 1 retry, negative
+	// means none. Retries are skipped once a stage's deadline has
+	// passed — re-running a deterministic timeout is wasted budget.
+	StageRetries int
+	// StageBackoff is the pause between retries of a failed ladder
+	// stage; zero means 5ms.
+	StageBackoff time.Duration
+	// DisableFallback turns the degradation ladder off: Place runs the
+	// exact ILP pipeline only and returns its error on failure instead
+	// of degrading to the warm-start or baseline stages. Ablations and
+	// tests that must observe the exact pipeline's failure use this.
+	DisableFallback bool
+	// StageHook, when non-nil, is invoked at the start of every ladder
+	// stage attempt. A non-nil return fails that attempt; a panic
+	// exercises the ladder's panic recovery. It exists for fault
+	// injection in tests and resilience experiments.
+	StageHook func(Stage) error
 }
 
 // withDefaults resolves every "zero means X" rule in one place — the
@@ -115,6 +134,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.NonOverlapTopK <= 0 {
 		o.NonOverlapTopK = 64
+	}
+	if o.StageRetries == 0 {
+		o.StageRetries = 1
+	} else if o.StageRetries < 0 {
+		o.StageRetries = 0
+	}
+	if o.StageBackoff <= 0 {
+		o.StageBackoff = 5 * time.Millisecond
 	}
 	return o
 }
@@ -145,18 +172,25 @@ type Result struct {
 	PlacementTime time.Duration
 	// CoarsenIterations reports coarsening effort.
 	CoarsenIterations int
+	// Provenance records which rung of the degradation ladder produced
+	// the plan and what every earlier attempt died of, so callers can
+	// tell an optimal plan from a degraded one.
+	Provenance Provenance
 }
 
-// Place runs the full Pesto pipeline on g for sys: coarsen, build the
-// ILP, solve with branch and bound plus a list-scheduling incumbent
-// heuristic, and expand the coarse solution to an original-graph plan.
+// placeILP runs the full exact Pesto pipeline on g for sys: coarsen,
+// build the ILP, solve with branch and bound plus a list-scheduling
+// incumbent heuristic, and expand the coarse solution to an
+// original-graph plan. It is the first rung of Place's degradation
+// ladder (see ladder.go); callers outside the ladder should use Place.
 //
 // Independent candidate evaluations — warm-start seeds, refinement
 // moves, branch-and-bound LP relaxations and the final candidate
 // simulations — run concurrently on an opts.Parallel-wide worker pool.
-// Cancelling ctx aborts the pipeline: in-flight work stops and Place
-// returns the (wrapped) context error instead of a partial plan.
-func Place(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*Result, error) {
+// Cancelling ctx aborts the pipeline: in-flight work stops and the
+// pipeline returns the (wrapped) context error instead of a partial
+// plan.
+func placeILP(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*Result, error) {
 	start := time.Now()
 	opts = opts.withDefaults()
 	if len(sys.GPUs()) != 2 {
@@ -860,34 +894,52 @@ func (h *heuristic) evalAssign(assign []sim.DeviceID) (float64, bool) {
 // refinement.
 func (h *heuristic) adoptOriginal(devices []sim.DeviceID) {
 	h.evalOriginal(devices)
+	h.evalAssign(h.projectOriginal(devices))
+}
+
+// projectOriginal maps an original-graph device vector to this
+// heuristic's coarse granularity: each GPU coarse node goes to the
+// healthy GPU carrying the compute-time majority of its members (ties
+// to the lowest device ID, so the projection is deterministic), CPU
+// coarse nodes to the CPU. Members assigned to devices outside the
+// healthy GPU set — e.g. a failed device during Replan — carry no
+// weight, which is what migrates them.
+func (h *heuristic) projectOriginal(devices []sim.DeviceID) []sim.DeviceID {
 	gpus := h.sys.GPUs()
 	assign := make([]sim.DeviceID, h.cg.NumNodes())
 	nodes := h.orig.Nodes()
+	isGPU := make(map[sim.DeviceID]bool, len(gpus))
+	for _, d := range gpus {
+		isGPU[d] = true
+	}
+	weight := make(map[sim.DeviceID]time.Duration, len(gpus))
 	for c, ms := range h.cres.Members {
-		var w0, w1 time.Duration
 		kind := graph.KindCPU
+		for d := range weight {
+			delete(weight, d)
+		}
 		for _, orig := range ms {
 			kind = nodes[orig].Kind
 			if kind != graph.KindGPU {
 				break
 			}
-			w := nodes[orig].Cost + 1
-			if devices[orig] == gpus[1] {
-				w1 += w
-			} else {
-				w0 += w
+			if isGPU[devices[orig]] {
+				weight[devices[orig]] += nodes[orig].Cost + 1
 			}
 		}
-		switch {
-		case kind != graph.KindGPU:
+		if kind != graph.KindGPU {
 			assign[c] = h.sys.CPUID()
-		case w1 > w0:
-			assign[c] = gpus[1]
-		default:
-			assign[c] = gpus[0]
+			continue
 		}
+		best := gpus[0]
+		for _, d := range gpus[1:] {
+			if weight[d] > weight[best] {
+				best = d
+			}
+		}
+		assign[c] = best
 	}
-	h.evalAssign(assign)
+	return assign
 }
 
 // expandDevices lifts a coarse device assignment to the original nodes.

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -9,6 +10,12 @@ import (
 	"pesto/internal/graph"
 	"pesto/internal/sim"
 )
+
+// ErrWorkerPanic is returned (wrapped) by Execute when a device or
+// link worker goroutine panics: the panic is recovered inside the
+// worker and surfaces as an ordinary error instead of crashing the
+// process. Match with errors.Is.
+var ErrWorkerPanic = errors.New("runtime worker panicked")
 
 // Options configures an execution.
 type Options struct {
@@ -23,6 +30,11 @@ type Options struct {
 	// Iteration distinguishes repeated training steps so noise differs
 	// across steps of a profiling run.
 	Iteration int
+	// Injector, when non-nil, filters every compute time, transfer
+	// time and memory capacity through the fault-injection hooks (see
+	// sim.Injector and internal/fault) — the same hooks the simulator
+	// honors, so both engines realize one fault schedule identically.
+	Injector sim.Injector
 }
 
 // Result reports one executed training step.
@@ -140,7 +152,10 @@ func Execute(g *graph.Graph, sys sim.System, plan sim.Plan, opts Options) (Resul
 		res.Finish[i] = -1
 	}
 
-	errCh := make(chan error, numWorkers)
+	// Capacity 2× workers: a worker that reports an error and then
+	// panics during unwinding sends twice (body + recover defer); the
+	// channel must never block a defer.
+	errCh := make(chan error, 2*numWorkers)
 	var wg sync.WaitGroup
 
 	// Link workers.
@@ -151,6 +166,11 @@ func Execute(g *graph.Graph, sys sim.System, plan sim.Plan, opts Options) (Resul
 		go func() {
 			defer wg.Done()
 			defer clock.Exit()
+			defer func() {
+				if r := recover(); r != nil {
+					errCh <- fmt.Errorf("link %d->%d worker: %v: %w", k[0], k[1], r, ErrWorkerPanic)
+				}
+			}()
 			for i := 0; i < count; i++ {
 				req, err := q.pop(clock)
 				if err != nil {
@@ -158,6 +178,12 @@ func Execute(g *graph.Graph, sys sim.System, plan sim.Plan, opts Options) (Resul
 					return
 				}
 				dur := sys.TransferTime(k[0], k[1], req.edge.Bytes)
+				if opts.Injector != nil {
+					dur = opts.Injector.TransferDuration(k[0], k[1], req.edge.Bytes, clock.Now(), dur)
+					if dur < 0 {
+						dur = 0
+					}
+				}
 				if err := clock.Sleep(dur); err != nil {
 					errCh <- err
 					return
@@ -179,7 +205,13 @@ func Execute(g *graph.Graph, sys sim.System, plan sim.Plan, opts Options) (Resul
 		go func() {
 			defer wg.Done()
 			defer clock.Exit()
+			defer func() {
+				if r := recover(); r != nil {
+					errCh <- fmt.Errorf("device %d worker: %v: %w", devID, r, ErrWorkerPanic)
+				}
+			}()
 			now := time.Duration(0)
+			var memStarted int64 // cumulative footprint of started ops
 			for _, id := range order {
 				// Wait for every input edge's data.
 				for _, e := range g.Pred(id) {
@@ -192,6 +224,25 @@ func Execute(g *graph.Graph, sys sim.System, plan sim.Plan, opts Options) (Resul
 				}
 				nd, _ := g.Node(id)
 				dur := opDuration(nd, dev.Speed, opts)
+				if inj := opts.Injector; inj != nil {
+					dur = inj.OpDuration(id, devID, now, dur)
+					if dur < 0 {
+						dur = 0
+					}
+					if ft, ok := inj.FailureTime(devID); ok && now+dur >= ft {
+						errCh <- fmt.Errorf("op %d: %w", id, &sim.DeviceFailedError{Device: devID, At: ft})
+						return
+					}
+					if dev.Memory > 0 {
+						capNow := inj.DeviceCapacity(devID, now, dev.Memory)
+						if memStarted+nd.Memory > capNow {
+							errCh <- fmt.Errorf("op %d: device %s needs %d of %d effective bytes at %v: %w",
+								id, dev.Name, memStarted+nd.Memory, capNow, now, sim.ErrOOM)
+							return
+						}
+					}
+					memStarted += nd.Memory
+				}
 				res.Start[id] = now
 				if err := clock.Sleep(dur); err != nil {
 					errCh <- fmt.Errorf("op %d: %w", id, err)
@@ -214,10 +265,21 @@ func Execute(g *graph.Graph, sys sim.System, plan sim.Plan, opts Options) (Resul
 
 	wg.Wait()
 	close(errCh)
+	// One failing worker strands its peers on futures that never
+	// complete, so the root cause arrives alongside secondary
+	// ErrDeadlock reports from the stranded workers. Prefer the root
+	// cause: any non-deadlock error outranks a deadlock.
+	var firstErr error
 	for err := range errCh {
-		if err != nil {
-			return Result{}, err
+		if err == nil {
+			continue
 		}
+		if firstErr == nil || (errors.Is(firstErr, ErrDeadlock) && !errors.Is(err, ErrDeadlock)) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return Result{}, firstErr
 	}
 	for i := 0; i < n; i++ {
 		if res.Finish[i] < 0 {

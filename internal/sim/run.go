@@ -118,6 +118,11 @@ type deviceState struct {
 // caller must only guarantee that nothing mutates g, sys or plan while
 // Runs are in flight (use Plan.Clone/System.Clone to mutate copies).
 func Run(g *graph.Graph, sys System, plan Plan) (Result, error) {
+	return run(g, sys, plan, nil)
+}
+
+// run is the shared core of Run and RunInjected.
+func run(g *graph.Graph, sys System, plan Plan, inj Injector) (Result, error) {
 	if err := plan.Validate(g, sys); err != nil {
 		return Result{}, err
 	}
@@ -164,6 +169,16 @@ func Run(g *graph.Graph, sys System, plan Plan) (Result, error) {
 
 	executed := 0
 
+	// Fault-injection state: the first injected fault (mid-run OOM or
+	// device failure) aborts the run. memStarted tracks the cumulative
+	// footprint of operations started per device, compared against the
+	// injector's (possibly shrinking) effective capacity.
+	var injErr error
+	var memStarted []int64
+	if inj != nil {
+		memStarted = make([]int64, len(sys.Devices))
+	}
+
 	markReady := func(id graph.NodeID, now time.Duration) {
 		d := &devs[plan.Device[id]]
 		d.ready = append(d.ready, readyOp{id: id, readyAt: now, seq: seq})
@@ -209,6 +224,27 @@ func Run(g *graph.Graph, sys System, plan Plan) (Result, error) {
 			speed = 1
 		}
 		dur := time.Duration(math.Round(float64(nd.Cost) / speed))
+		if inj != nil {
+			dur = inj.OpDuration(id, devID, now, dur)
+			if dur < 0 {
+				dur = 0
+			}
+			if ft, ok := inj.FailureTime(devID); ok && now+dur >= ft {
+				// The op would start on, or still be running on, a dead
+				// device.
+				injErr = &DeviceFailedError{Device: devID, At: ft}
+				return
+			}
+			if dev.Memory > 0 {
+				capNow := inj.DeviceCapacity(devID, now, dev.Memory)
+				if memStarted[devID]+nd.Memory > capNow {
+					injErr = fmt.Errorf("device %s needs %d of %d effective bytes at %v: %w",
+						dev.Name, memStarted[devID]+nd.Memory, capNow, now, ErrOOM)
+					return
+				}
+			}
+			memStarted[devID] += nd.Memory
+		}
 		d.running = id
 		d.busyUntil = now + dur
 		res.Start[id] = now
@@ -263,7 +299,7 @@ func Run(g *graph.Graph, sys System, plan Plan) (Result, error) {
 	}
 
 	var now time.Duration
-	for evq.Len() > 0 {
+	for evq.Len() > 0 && injErr == nil {
 		ev := heap.Pop(&evq).(event)
 		now = ev.t
 		switch ev.kind {
@@ -290,6 +326,12 @@ func Run(g *graph.Graph, sys System, plan Plan) (Result, error) {
 					}
 				}
 				dur := sys.TransferTime(devID, target, e.Bytes)
+				if inj != nil {
+					dur = inj.TransferDuration(devID, target, e.Bytes, start, dur)
+					if dur < 0 {
+						dur = 0
+					}
+				}
 				finish := start + dur
 				linkFree[lk] = finish
 				res.LinkBusy[lk] += dur
@@ -305,8 +347,11 @@ func Run(g *graph.Graph, sys System, plan Plan) (Result, error) {
 		}
 	}
 
+	if injErr != nil {
+		return res, injErr
+	}
 	if executed != n {
-		return res, fmt.Errorf("simulation deadlocked: executed %d of %d operations (invalid schedule order?)", executed, n)
+		return res, fmt.Errorf("simulation deadlocked: executed %d of %d operations (invalid schedule order?): %w", executed, n, ErrBadPlacement)
 	}
 	res.Makespan = now
 	sort.Slice(res.Transfers, func(i, j int) bool {

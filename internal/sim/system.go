@@ -62,6 +62,13 @@ type Device struct {
 	// p/Speed. 1.0 matches the paper's V100 baseline; the Figure 8a
 	// sweep raises it.
 	Speed float64
+	// Failed marks a device that has died (or been administratively
+	// drained). Failed devices keep their ID — device IDs index plan
+	// vectors — but GPUs() skips them and CompatibleDevice rejects
+	// them, so Validate refuses plans that still use them and every
+	// placement heuristic routes around them. See WithFailedDevice and
+	// placement.Replan.
+	Failed bool
 }
 
 // System is a host with one CPU and a set of GPUs, plus the fitted
@@ -125,13 +132,27 @@ func (s System) Clone() System {
 // CPUID returns the device ID of the host CPU.
 func (s System) CPUID() DeviceID { return 0 }
 
-// GPUs returns the IDs of the GPU devices in order.
+// GPUs returns the IDs of the healthy GPU devices in order. Failed
+// devices are skipped, so planners built on GPUs() automatically
+// route around them.
 func (s System) GPUs() []DeviceID {
 	var out []DeviceID
 	for _, d := range s.Devices {
-		if d.Kind == GPU {
+		if d.Kind == GPU && !d.Failed {
 			out = append(out, d.ID)
 		}
+	}
+	return out
+}
+
+// WithFailedDevice returns a copy of the system with the given device
+// marked failed. Plans placing work on it no longer Validate, and the
+// placement machinery (which enumerates candidates via GPUs and
+// CompatibleDevice) only considers the survivors.
+func (s System) WithFailedDevice(id DeviceID) System {
+	out := s.Clone()
+	if int(id) >= 0 && int(id) < len(out.Devices) {
+		out.Devices[id].Failed = true
 	}
 	return out
 }
@@ -229,7 +250,7 @@ func NewMultiHostSystem(hosts, gpusPerHost int, gpuMemory int64) System {
 // placed on the device (device affinity, §3.2.1).
 func (s System) CompatibleDevice(kind graph.OpKind, id DeviceID) bool {
 	d, ok := s.Device(id)
-	if !ok {
+	if !ok || d.Failed {
 		return false
 	}
 	switch kind {

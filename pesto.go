@@ -35,6 +35,7 @@ import (
 
 	"pesto/internal/baselines"
 	"pesto/internal/comm"
+	"pesto/internal/fault"
 	"pesto/internal/graph"
 	"pesto/internal/models"
 	"pesto/internal/placement"
@@ -95,6 +96,36 @@ type (
 	PlaceResult = placement.Result
 	// Variant names one of the paper's model variants.
 	Variant = models.Variant
+	// Provenance records which rung of the degradation ladder produced
+	// a plan; its Err() wraps ErrDegraded for fallback plans.
+	Provenance = placement.Provenance
+	// Stage names one rung of the degradation ladder.
+	Stage = placement.Stage
+	// ReplanResult is the outcome of Replan after a device failure.
+	ReplanResult = placement.ReplanResult
+)
+
+// Degradation-ladder rungs, re-exported for provenance checks.
+const (
+	StageILP      = placement.StageILP
+	StageRefine   = placement.StageRefine
+	StageFallback = placement.StageFallback
+	StageReplan   = placement.StageReplan
+)
+
+// Fault-injection types.
+type (
+	// FaultSpec is a parsed fault schedule (see ParseFaultSpec).
+	FaultSpec = fault.Spec
+	// FaultInjector realizes a FaultSpec as the deterministic hook set
+	// both engines honor.
+	FaultInjector = fault.Injector
+	// Injector is the hook interface SimulateWithFaults and
+	// ExecuteWithFaults accept; *FaultInjector implements it.
+	Injector = sim.Injector
+	// DeviceFailedError reports which device failed and when; it
+	// unwraps to ErrDeviceFailed.
+	DeviceFailedError = sim.DeviceFailedError
 )
 
 // Errors re-exported for matching with errors.Is.
@@ -106,6 +137,17 @@ var (
 	ErrBadPlacement = sim.ErrBadPlacement
 	// ErrUnsupportedSystem marks systems the Pesto ILP does not cover.
 	ErrUnsupportedSystem = placement.ErrUnsupportedSystem
+	// ErrDegraded marks plans served by a fallback rung of the
+	// degradation ladder (via Provenance.Err()) or by Replan.
+	ErrDegraded = placement.ErrDegraded
+	// ErrDeviceFailed marks steps aborted by an injected whole-device
+	// failure; the concrete error is a *DeviceFailedError.
+	ErrDeviceFailed = sim.ErrDeviceFailed
+	// ErrWorkerPanic marks runtime executions whose device or link
+	// worker panicked; the panic is recovered into this error.
+	ErrWorkerPanic = runtime.ErrWorkerPanic
+	// ErrBadFaultSpec marks malformed fault-spec strings.
+	ErrBadFaultSpec = fault.ErrBadSpec
 )
 
 // NewGraph returns an empty computation graph with a capacity hint.
@@ -141,6 +183,45 @@ func Execute(g *Graph, sys System, plan Plan, noiseSigma float64, seed int64) (t
 		return 0, err
 	}
 	return res.Makespan, nil
+}
+
+// ParseFaultSpec parses a fault schedule from its compact string form,
+// e.g. "seed=42;straggler:p=0.05,mult=8;link:0-1,scale=4;mem:2,frac=0.5@2ms;fail:2@5ms".
+// See internal/fault for the full grammar. Malformed input yields an
+// error wrapping ErrBadFaultSpec; no input ever panics.
+func ParseFaultSpec(s string) (FaultSpec, error) { return fault.ParseSpec(s) }
+
+// NewFaultInjector realizes a FaultSpec as a deterministic injector:
+// equal specs (same seed) produce byte-identical fault schedules on
+// both engines, at any parallelism.
+func NewFaultInjector(spec FaultSpec) *FaultInjector { return fault.New(spec) }
+
+// SimulateWithFaults is Simulate with every compute time, transfer time
+// and memory capacity filtered through inj. Injected whole-device
+// failures surface as *DeviceFailedError (errors.Is ErrDeviceFailed);
+// injected memory shrinkage surfaces as ErrOOM mid-run.
+func SimulateWithFaults(g *Graph, sys System, plan Plan, inj Injector) (StepResult, error) {
+	return sim.RunInjected(g, sys, plan, inj)
+}
+
+// ExecuteWithFaults is Execute with the same fault hooks the simulator
+// honors, so both engines realize one fault schedule identically.
+func ExecuteWithFaults(g *Graph, sys System, plan Plan, inj Injector, noiseSigma float64, seed int64) (time.Duration, error) {
+	res, err := runtime.Execute(g, sys, plan, runtime.Options{NoiseSigma: noiseSigma, Seed: seed, Injector: inj})
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}
+
+// Replan recovers from the failure of a device: it migrates every
+// operation off the failed device onto the survivors under the memory
+// constraints, re-optimizes with the refinement machinery, and returns
+// a valid degraded plan together with the recovery-makespan delta. The
+// result's Provenance wraps ErrDegraded; insufficient survivor memory
+// fails with ErrOOM rather than degrading around the constraint.
+func Replan(ctx context.Context, g *Graph, sys System, plan Plan, failed DeviceID, opts PlaceOptions) (*ReplanResult, error) {
+	return placement.Replan(ctx, g, sys, plan, failed, opts)
 }
 
 // ExpertPlan returns the manual expert placement: contiguous layer
