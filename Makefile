@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: build test check bench fmt vet
+# Size of the differential-verification sweep (seeded random DAG
+# instances driven through every engine and held to the invariant
+# checker + LP lower bound). Plain `go test` uses a small default;
+# `make verify` runs the full population.
+SWEEP ?= 1000
+
+.PHONY: build test check bench fmt vet verify
 
 build:
 	$(GO) build ./...
@@ -16,6 +22,13 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x -timeout 2h
+
+# The differential verification sweep: $(SWEEP) seeded instances across
+# baselines, the placement ladder, replanning, both execution engines
+# and the k-GPU/multi-host variants, each held to the independent
+# invariant checker and the LP-relaxation lower bound.
+verify:
+	PESTO_SWEEP=$(SWEEP) $(GO) test ./internal/verify/ ./internal/gen/ -count=1 -timeout 30m -run 'TestSweep|TestGenerate' -v
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,113 @@
+package baselines_test
+
+// Differential coverage for the baseline planners: every plan they emit
+// on generated graphs must pass the independent invariant checker, and
+// no realized makespan may undercut the LP-relaxation lower bound.
+// These are the oracles the sweep applies at scale; this file keeps a
+// fast, always-on slice of them inside the baselines package's own
+// test run.
+
+import (
+	"errors"
+	"testing"
+
+	"pesto/internal/baselines"
+	"pesto/internal/gen"
+	"pesto/internal/graph"
+	"pesto/internal/sim"
+	"pesto/internal/verify"
+)
+
+const gpuMem = int64(16) << 30
+
+func generated(t *testing.T, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := gen.Generate(gen.RandomConfig(seed))
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return g
+}
+
+func TestHEFTVerifiesOnGeneratedGraphs(t *testing.T) {
+	sys := sim.NewSystem(2, gpuMem)
+	for seed := int64(0); seed < 25; seed++ {
+		g := generated(t, seed)
+		plan, err := baselines.HEFT(g, sys)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := verify.Check(g, sys, plan)
+		if err != nil {
+			t.Fatalf("seed %d: HEFT plan rejected: %v", seed, err)
+		}
+		lb, err := verify.LowerBound(g, sys)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Makespan < lb {
+			t.Fatalf("seed %d: HEFT makespan %v undercuts bound %v", seed, res.Makespan, lb)
+		}
+	}
+}
+
+func TestBaechiVerifiesOnGeneratedGraphs(t *testing.T) {
+	sys := sim.NewSystem(2, gpuMem)
+	for seed := int64(0); seed < 25; seed++ {
+		g := generated(t, seed)
+		lb, err := verify.LowerBound(g, sys)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, h := range []baselines.BaechiHeuristic{baselines.MTopo, baselines.METF, baselines.MSCT} {
+			plan, err := baselines.Baechi(g, sys, h)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, h, err)
+			}
+			res, err := verify.Check(g, sys, plan)
+			if err != nil {
+				t.Fatalf("seed %d %v: plan rejected: %v", seed, h, err)
+			}
+			if res.Makespan < lb {
+				t.Fatalf("seed %d %v: makespan %v undercuts bound %v", seed, h, res.Makespan, lb)
+			}
+		}
+	}
+}
+
+func TestSingleGPUVerifiesOrReportsOOM(t *testing.T) {
+	// On ample memory the plan verifies; on insufficient memory either
+	// the planner or the checker must classify the problem as memory.
+	for seed := int64(0); seed < 25; seed++ {
+		g := generated(t, seed)
+		sys := sim.NewSystem(2, gpuMem)
+		plan, err := baselines.SingleGPU(g, sys)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := verify.Check(g, sys, plan); err != nil {
+			t.Fatalf("seed %d: single-GPU plan rejected: %v", seed, err)
+		}
+
+		var total int64
+		for _, nd := range g.Nodes() {
+			if nd.Kind == graph.KindGPU {
+				total += nd.Memory
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		tight := sim.NewSystem(2, total-1)
+		tp, err := baselines.SingleGPU(g, tight)
+		if err != nil {
+			if !errors.Is(err, sim.ErrOOM) {
+				t.Fatalf("seed %d: tight-memory failure not OOM: %v", seed, err)
+			}
+			continue
+		}
+		if _, err := verify.Check(g, tight, tp); !errors.Is(err, verify.ErrMemory) {
+			t.Fatalf("seed %d: over-capacity plan accepted or misclassified: %v", seed, err)
+		}
+	}
+}

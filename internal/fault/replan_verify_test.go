@@ -1,0 +1,81 @@
+package fault_test
+
+// End-to-end recovery oracle: inject a whole-device failure into a
+// verified run, observe the DeviceFailedError, replan onto the
+// survivors, and hold the recovered plan to the full independent
+// verification — the fault → detect → replan → verify loop the
+// degradation ladder exists for, on generated graphs.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"pesto/internal/baselines"
+	"pesto/internal/fault"
+	"pesto/internal/gen"
+	"pesto/internal/placement"
+	"pesto/internal/sim"
+	"pesto/internal/verify"
+)
+
+func TestInjectedFailureReplanVerifies(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g, err := gen.Generate(gen.RandomConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := sim.NewSystem(2, 16<<30)
+		plan, err := baselines.HEFT(g, sys)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		healthy, err := verify.Check(g, sys, plan)
+		if err != nil {
+			t.Fatalf("seed %d: healthy plan rejected: %v", seed, err)
+		}
+
+		// Kill device 1 (the first GPU) mid-step.
+		spec, err := fault.ParseSpec(fmt.Sprintf("seed=%d;fail:1@%s", seed, healthy.Makespan/2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = sim.RunInjected(g, sys, plan, fault.New(spec))
+		if err == nil {
+			t.Fatalf("seed %d: step survived a device failure", seed)
+		}
+		var dfe *sim.DeviceFailedError
+		if !errors.As(err, &dfe) || !errors.Is(err, sim.ErrDeviceFailed) {
+			t.Fatalf("seed %d: failure surfaced as %v, want *DeviceFailedError", seed, err)
+		}
+		if dfe.Device != 1 {
+			t.Fatalf("seed %d: failed device %d, want 1", seed, dfe.Device)
+		}
+
+		// Recover and verify the recovered plan on the survivors.
+		out, err := placement.Replan(context.Background(), g, sys, plan, dfe.Device, placement.Options{
+			ILPTimeLimit: 2 * time.Second,
+			Verify:       true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: replan: %v", seed, err)
+		}
+		for id, d := range out.Plan.Device {
+			if d == dfe.Device {
+				t.Fatalf("seed %d: op %d still on failed device", seed, id)
+			}
+		}
+		recovered, err := verify.Check(g, out.Survivors, out.Plan)
+		if err != nil {
+			t.Fatalf("seed %d: recovered plan rejected: %v", seed, err)
+		}
+		if recovered.Makespan <= 0 {
+			t.Fatalf("seed %d: zero recovered makespan", seed)
+		}
+		if perr := out.Provenance.Err(); perr == nil || !errors.Is(perr, placement.ErrDegraded) {
+			t.Fatalf("seed %d: replan provenance %v, want wrap of ErrDegraded", seed, perr)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzGenerate drives the generator with arbitrary seeds and size
+// knobs: it must never panic, always emit a graph that passes
+// Validate, and stay byte-deterministic for equal inputs.
+func FuzzGenerate(f *testing.F) {
+	f.Add(int64(0), int64(1), 24, 3)
+	f.Add(int64(42), int64(2), 8, 1)
+	f.Add(int64(-7), int64(5), 200, 9)
+	f.Add(int64(1<<40), int64(999), 1, 0)
+	f.Fuzz(func(t *testing.T, seed, famRaw int64, nodes, width int) {
+		fams := Families()
+		fam := fams[((famRaw%int64(len(fams)))+int64(len(fams)))%int64(len(fams))]
+		if nodes < 0 {
+			nodes = -nodes
+		}
+		nodes %= 300
+		if width < 0 {
+			width = -width
+		}
+		width %= 20
+		cfg := Config{Family: fam, Seed: seed, Nodes: nodes, Width: width}
+		g, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%+v: generated invalid graph: %v", cfg, err)
+		}
+		g2, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b bytes.Buffer
+		if err := g.WriteJSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := g2.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("%+v: generation not deterministic", cfg)
+		}
+	})
+}

@@ -193,6 +193,17 @@ func (g *Graph) SetMemory(id NodeID, mem int64) error {
 	return nil
 }
 
+// SetColoc overwrites the colocation group of a node (empty clears it).
+// The random-DAG generator uses this to bind operations into groups
+// after the structural wiring is done.
+func (g *Graph) SetColoc(id NodeID, group string) error {
+	if !g.valid(id) {
+		return fmt.Errorf("set coloc of %d: %w", id, ErrUnknownNode)
+	}
+	g.nodes[id].Coloc = group
+	return nil
+}
+
 // Nodes returns a copy of the node slice in ID order.
 func (g *Graph) Nodes() []Node {
 	out := make([]Node, len(g.nodes))

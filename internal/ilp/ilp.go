@@ -327,6 +327,16 @@ func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
 	if math.IsInf(bound, 1) || (rootSolved && bound < rootBound) {
 		bound = rootBound
 	}
+	// A truncated search can leave every open node with a bound above
+	// the incumbent (their subtrees would have been pruned, not
+	// explored). The incumbent is feasible, so the optimum is at most
+	// its value: the valid proven bound is the minimum of the two.
+	// Without this cap a node-capped search could report Bound >
+	// Objective and, through the clamped gap, claim optimality it
+	// never proved.
+	if best.Status != NoSolutionStatus && best.Objective < bound {
+		bound = best.Objective
+	}
 	best.Bound = bound
 
 	switch {

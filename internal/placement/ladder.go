@@ -134,14 +134,24 @@ func Place(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*
 	if len(sys.GPUs()) != 2 {
 		return nil, fmt.Errorf("pesto: system has %d usable GPUs: %w", len(sys.GPUs()), ErrUnsupportedSystem)
 	}
+	var res *Result
+	var err error
 	if opts.DisableFallback {
-		return placeILP(ctx, g, sys, opts)
+		res, err = placeILP(ctx, g, sys, opts)
+	} else {
+		res, err = runLadder(ctx, g, sys, opts, []stageDef{
+			{StageILP, placeILP},
+			{StageRefine, placeRefine},
+			{StageFallback, placeFallback},
+		})
 	}
-	return runLadder(ctx, g, sys, opts, []stageDef{
-		{StageILP, placeILP},
-		{StageRefine, placeRefine},
-		{StageFallback, placeFallback},
-	})
+	if err != nil {
+		return nil, err
+	}
+	if verr := verifyResult(g, sys, res.Plan, opts); verr != nil {
+		return nil, verr
+	}
+	return res, nil
 }
 
 // runLadder walks the stages in order until one returns a plan. Every

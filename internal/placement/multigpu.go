@@ -31,14 +31,24 @@ func PlaceMultiGPU(ctx context.Context, g *graph.Graph, sys sim.System, opts Opt
 		return nil, fmt.Errorf("pesto: system has %d usable GPUs: %w", len(gpus), ErrUnsupportedSystem)
 	}
 	opts = opts.withDefaults()
+	var res *Result
+	var err error
 	if opts.DisableFallback {
-		return placeRefine(ctx, g, sys, opts)
+		res, err = placeRefine(ctx, g, sys, opts)
+	} else {
+		// k > 2 has no exact rung; its ladder is refine → heuristics.
+		res, err = runLadder(ctx, g, sys, opts, []stageDef{
+			{StageRefine, placeRefine},
+			{StageFallback, placeFallback},
+		})
 	}
-	// k > 2 has no exact rung; its ladder is refine → heuristics.
-	return runLadder(ctx, g, sys, opts, []stageDef{
-		{StageRefine, placeRefine},
-		{StageFallback, placeFallback},
-	})
+	if err != nil {
+		return nil, err
+	}
+	if verr := verifyResult(g, sys, res.Plan, opts); verr != nil {
+		return nil, verr
+	}
+	return res, nil
 }
 
 // placeRefine is the ILP-free pipeline: warm-start seeds, greedy
@@ -78,6 +88,7 @@ func placeRefine(ctx context.Context, g *graph.Graph, sys sim.System, opts Optio
 	// still yields an incumbent; only refinement is budget-bound.
 	h.seedAssignments(ctx)
 	h.seedListScheduling(ctx)
+	h.seedBaselines(ctx)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("pesto: cancelled during warm start: %w", err)
 	}

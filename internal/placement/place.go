@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"pesto/internal/baselines"
 	"pesto/internal/coarsen"
 	"pesto/internal/engine"
 	"pesto/internal/graph"
@@ -111,6 +112,16 @@ type Options struct {
 	// exercises the ladder's panic recovery. It exists for fault
 	// injection in tests and resilience experiments.
 	StageHook func(Stage) error
+	// Verify re-proves every returned plan against the independent
+	// invariant checker (internal/verify) — precedence, colocation,
+	// affinity, memory, link discipline and makespan accounting — and
+	// fails with an ErrVerification-wrapped error instead of returning
+	// a plan that violates any of them. With DisableMemory set, the
+	// memory invariant is lifted to match the caller's request. The
+	// placement test suite forces this on for every plan; production
+	// callers pay one extra simulation per Place/Replan call when
+	// enabled.
+	Verify bool
 }
 
 // withDefaults resolves every "zero means X" rule in one place — the
@@ -278,6 +289,7 @@ func placeILP(ctx context.Context, g *graph.Graph, sys sim.System, opts Options)
 	h := &heuristic{cg: cres.Coarse, sys: sys, horizon: m.horizon, opts: opts, orig: g, cres: cres, pool: pool}
 	h.seedAssignments(ctx)
 	h.seedListScheduling(ctx)
+	h.seedBaselines(ctx)
 	if hILP.bestDev != nil {
 		h.adoptOriginal(hILP.bestDev)
 	}
@@ -658,6 +670,28 @@ func (h *heuristic) seedAssignments(ctx context.Context) {
 		if o.Err == nil && o.Value.ok {
 			h.adoptScored(seeds[i], expanded[i], o.Value)
 		}
+	}
+}
+
+// seedBaselines warm-starts the search with the published baseline
+// placements — the same candidate set the ladder's fallback rung would
+// serve. Adopting them here makes the ladder's quality monotone by
+// construction: the refine rung starts from (and hill-climbs away
+// from) the best plan the fallback rung could return, so degrading a
+// rung can never improve the answer. The 1000-instance differential
+// sweep holds the ladder to exactly this property.
+func (h *heuristic) seedBaselines(ctx context.Context) {
+	if ctx.Err() != nil {
+		return
+	}
+	if bp, _, _, err := baselines.BestBaechi(h.orig, h.sys); err == nil {
+		h.adoptOriginal(bp.Device)
+	}
+	if hp, err := baselines.HEFT(h.orig, h.sys); err == nil {
+		h.adoptOriginal(hp.Device)
+	}
+	if sp, err := baselines.SingleGPU(h.orig, h.sys); err == nil {
+		h.adoptOriginal(sp.Device)
 	}
 }
 
@@ -1067,8 +1101,16 @@ func (h *heuristic) simSystem() sim.System {
 }
 
 // candidatePlans returns the original-graph schedules tried for one
-// expanded assignment.
+// expanded assignment. Without ScheduleFromILP the returned plan is
+// placement-only (the simulator's ready queue schedules it), so only
+// the FIFO realization is scored — evaluating a priority schedule that
+// the final plan then drops would let the search pick a vector whose
+// realized makespan is worse than its score, breaking the ladder's
+// monotonicity against the FIFO-realized baselines.
 func (h *heuristic) candidatePlans(expanded []sim.DeviceID) []sim.Plan {
+	if !h.opts.ScheduleFromILP {
+		return []sim.Plan{{Device: expanded, Policy: sim.PolicyFIFO}}
+	}
 	return []sim.Plan{
 		{Device: expanded, Policy: sim.PolicyFIFO},
 		{Device: expanded, Policy: sim.PolicyPriority, Priority: h.bottomLevels()},

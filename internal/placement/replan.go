@@ -144,6 +144,12 @@ func Replan(ctx context.Context, g *graph.Graph, sys sim.System, plan sim.Plan, 
 	if prevMk > 0 {
 		out.RecoveryDelta = mk - prevMk
 	}
+	// The recovered plan is verified against the survivor system: the
+	// failed device is present but marked failed, so the checker also
+	// proves nothing still runs on it.
+	if verr := verifyResult(g, survivors, out.Plan, opts); verr != nil {
+		return nil, verr
+	}
 	return out, nil
 }
 

@@ -1,0 +1,51 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+
+	"pesto/internal/graph"
+	"pesto/internal/sim"
+	"pesto/internal/verify"
+)
+
+// ErrVerification marks a plan that the independent checker
+// (internal/verify) rejected after placement. It always arrives wrapped
+// around the specific invariant-class error, so callers can first gate
+// on ErrVerification and then classify with verify.ErrAffinity,
+// verify.ErrPrecedence, etc.
+var ErrVerification = errors.New("placement failed verification")
+
+// testAlwaysVerify forces verification of every produced plan
+// regardless of Options.Verify. The placement test suite switches it on
+// in an init func so no plan leaves the package unchecked during tests;
+// production callers opt in per call via Options.Verify.
+var testAlwaysVerify bool
+
+// verifyResult re-proves a produced plan against the independent
+// invariant checker when Options.Verify (or the test hook) asks for it.
+// With DisableMemory the memory invariant is lifted — the caller
+// explicitly ordered capacity ignored, so verifying it would reject by
+// construction — while every other invariant still holds.
+func verifyResult(g *graph.Graph, sys sim.System, plan sim.Plan, opts Options) error {
+	if !opts.Verify && !testAlwaysVerify {
+		return nil
+	}
+	if opts.DisableMemory {
+		sys = liftMemory(sys)
+	}
+	if _, err := verify.Check(g, sys, plan); err != nil {
+		return fmt.Errorf("%w: %w", ErrVerification, err)
+	}
+	return nil
+}
+
+// liftMemory clones the system with unlimited device memory (zero means
+// no limit throughout the simulator and checker).
+func liftMemory(sys sim.System) sim.System {
+	out := sys.Clone()
+	for i := range out.Devices {
+		out.Devices[i].Memory = 0
+	}
+	return out
+}

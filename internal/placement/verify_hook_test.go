@@ -1,0 +1,10 @@
+package placement
+
+// Every plan produced while the placement test suite runs is re-proved
+// by the independent invariant checker, whether or not the individual
+// test asked for Options.Verify. A planner regression that emits an
+// infeasible plan therefore fails loudly in whichever test produced it,
+// not just in the dedicated verification tests.
+func init() {
+	testAlwaysVerify = true
+}

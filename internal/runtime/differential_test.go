@@ -1,0 +1,101 @@
+package runtime_test
+
+// Differential oracle between the two execution engines on generated
+// graphs: with an explicit per-device order and zero noise, the
+// goroutine-per-device runtime and the discrete-event simulator must
+// realize the same step within tolerance, both must verify, and neither
+// may undercut the LP lower bound.
+
+import (
+	"sort"
+	"testing"
+
+	"pesto/internal/gen"
+	"pesto/internal/graph"
+	"pesto/internal/runtime"
+	"pesto/internal/sim"
+	"pesto/internal/verify"
+)
+
+// orderedPlan builds a deterministic two-GPU placement with an explicit
+// per-device topological order (Kahn's algorithm, smallest NodeID
+// first).
+func orderedPlan(g *graph.Graph, sys sim.System) sim.Plan {
+	plan := sim.Plan{Device: make([]sim.DeviceID, g.NumNodes())}
+	grp := map[string]sim.DeviceID{}
+	for _, nd := range g.Nodes() {
+		if nd.Kind != graph.KindGPU {
+			continue
+		}
+		d := sim.DeviceID(1 + int(nd.ID)%2)
+		if nd.Coloc != "" {
+			if prev, ok := grp[nd.Coloc]; ok {
+				d = prev
+			} else {
+				grp[nd.Coloc] = d
+			}
+		}
+		plan.Device[nd.ID] = d
+	}
+
+	indeg := make([]int, g.NumNodes())
+	for _, e := range g.Edges() {
+		indeg[e.To]++
+	}
+	var ready []graph.NodeID
+	for i := range indeg {
+		if indeg[i] == 0 {
+			ready = append(ready, graph.NodeID(i))
+		}
+	}
+	plan.Order = make([][]graph.NodeID, len(sys.Devices))
+	for len(ready) > 0 {
+		sort.Slice(ready, func(a, b int) bool { return ready[a] < ready[b] })
+		id := ready[0]
+		ready = ready[1:]
+		d := plan.Device[id]
+		plan.Order[d] = append(plan.Order[d], id)
+		for _, e := range g.Succ(id) {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	return plan
+}
+
+func TestRuntimeAgreesWithSimulatorOnGeneratedGraphs(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		g, err := gen.Generate(gen.RandomConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := sim.NewSystem(2, 16<<30)
+		plan := orderedPlan(g, sys)
+
+		sres, err := verify.Check(g, sys, plan)
+		if err != nil {
+			t.Fatalf("seed %d: ordered plan does not verify: %v", seed, err)
+		}
+		rres, err := runtime.Execute(g, sys, plan, runtime.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: runtime: %v", seed, err)
+		}
+		diff := float64(rres.Makespan - sres.Makespan)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff/float64(sres.Makespan) > 0.02 {
+			t.Fatalf("seed %d: runtime %v vs simulator %v beyond 2%%", seed, rres.Makespan, sres.Makespan)
+		}
+
+		lb, err := verify.LowerBound(g, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rres.Makespan < lb {
+			t.Fatalf("seed %d: runtime makespan %v undercuts bound %v", seed, rres.Makespan, lb)
+		}
+	}
+}

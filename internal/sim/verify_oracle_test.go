@@ -1,0 +1,87 @@
+package sim_test
+
+// Differential oracle between the simulator and the independent
+// checker: on generated graphs, any plan sim.Run accepts must produce a
+// timeline CheckExecution certifies — every invariant the checker
+// re-derives (precedence through FCFS transfers, device serialization,
+// link discipline, accounting) must hold of the simulator's own output.
+
+import (
+	"testing"
+
+	"pesto/internal/gen"
+	"pesto/internal/graph"
+	"pesto/internal/sim"
+	"pesto/internal/verify"
+)
+
+func TestSimulatorOutputAlwaysVerifies(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		g, err := gen.Generate(gen.RandomConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for split := 0; split < 2; split++ {
+			sys := sim.NewSystem(2, 16<<30)
+			plan := sim.Plan{Device: make([]sim.DeviceID, g.NumNodes())}
+			grp := map[string]sim.DeviceID{}
+			for _, nd := range g.Nodes() {
+				if nd.Kind != graph.KindGPU {
+					continue
+				}
+				d := sim.DeviceID(1 + (int(nd.ID)+split)%2)
+				if nd.Coloc != "" {
+					if prev, ok := grp[nd.Coloc]; ok {
+						d = prev
+					} else {
+						grp[nd.Coloc] = d
+					}
+				}
+				plan.Device[nd.ID] = d
+			}
+			res, err := sim.Run(g, sys, plan)
+			if err != nil {
+				t.Fatalf("seed %d split %d: %v", seed, split, err)
+			}
+			if err := verify.CheckExecution(g, sys, plan, res); err != nil {
+				t.Fatalf("seed %d split %d: simulator output fails verification: %v", seed, split, err)
+			}
+		}
+	}
+}
+
+func TestCongestionFreeOutputAlsoVerifies(t *testing.T) {
+	// The checker skips the link discipline on congestion-free systems
+	// but everything else must still hold.
+	g, err := gen.Generate(gen.RandomConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sim.NewSystem(2, 16<<30)
+	sys.CongestionFree = true
+	plan := sim.Plan{Device: make([]sim.DeviceID, g.NumNodes())}
+	for _, nd := range g.Nodes() {
+		if nd.Kind == graph.KindGPU {
+			plan.Device[nd.ID] = sim.DeviceID(1 + int(nd.ID)%2)
+		}
+	}
+	// Colocation groups onto one device.
+	grp := map[string]sim.DeviceID{}
+	for _, nd := range g.Nodes() {
+		if nd.Coloc == "" || nd.Kind != graph.KindGPU {
+			continue
+		}
+		if prev, ok := grp[nd.Coloc]; ok {
+			plan.Device[nd.ID] = prev
+		} else {
+			grp[nd.Coloc] = plan.Device[nd.ID]
+		}
+	}
+	res, err := sim.Run(g, sys, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckExecution(g, sys, plan, res); err != nil {
+		t.Fatalf("congestion-free output fails verification: %v", err)
+	}
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestChromeTraceGolden pins the exporter's exact output for the
+// deterministic two-GPU scenario. The golden file is a valid Chrome
+// Trace Event JSON document; regenerate it with `go test
+// ./internal/trace/ -run Golden -update` after an intentional format
+// change and review the diff like code.
+func TestChromeTraceGolden(t *testing.T) {
+	g, sys, plan, res := scenario(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, g, sys, plan, res); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace output changed; run with -update if intentional.\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+
+	// The golden file itself must round-trip as a Chrome trace: valid
+	// JSON, complete events only, non-negative times, and per-pid
+	// events that are monotone and non-overlapping once sorted.
+	var parsed chromeFile
+	if err := json.Unmarshal(want, &parsed); err != nil {
+		t.Fatalf("golden file not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("golden file has no events")
+	}
+	byPid := map[int][]chromeEvent{}
+	for _, e := range parsed.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("non-complete event %+v", e)
+		}
+		if e.TsUs < 0 || e.DUs < 0 {
+			t.Fatalf("negative time in event %+v", e)
+		}
+		byPid[e.PID] = append(byPid[e.PID], e)
+	}
+	for pid, evs := range byPid {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].TsUs < evs[j].TsUs })
+		for i := 1; i < len(evs); i++ {
+			prevEnd := evs[i-1].TsUs + evs[i-1].DUs
+			if evs[i].TsUs < prevEnd {
+				t.Fatalf("pid %d: event %q at %vus overlaps %q ending %vus",
+					pid, evs[i].Name, evs[i].TsUs, evs[i-1].Name, prevEnd)
+			}
+		}
+	}
+	// Round-trip: re-encoding the parsed structure must be stable.
+	var re bytes.Buffer
+	enc := json.NewEncoder(&re)
+	if err := enc.Encode(parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re.Bytes(), want) {
+		t.Fatal("golden file does not round-trip through chromeFile")
+	}
+}

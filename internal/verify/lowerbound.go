@@ -1,0 +1,157 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pesto/internal/graph"
+	"pesto/internal/lp"
+	"pesto/internal/sim"
+)
+
+// LowerBound computes a makespan lower bound that every feasible
+// placement/schedule of g on sys must respect, by solving an LP
+// relaxation with the repository's own simplex solver — the oracle the
+// heuristic and exact engines are measured against, in the spirit of
+// the LP lower bounds Tarnawski et al. validate against.
+//
+// The relaxation keeps what is true of every schedule and drops what
+// any schedule may choose:
+//
+//   - each operation runs for at least its best-case duration (fastest
+//     compatible healthy device, with the simulator's rounding);
+//   - each edge delays its consumer by at least the cheapest
+//     communication any device assignment allows (zero when the two
+//     endpoints could colocate);
+//   - the total best-case work of an affinity class cannot beat its
+//     aggregate processing capacity (Σ p_min / m machines).
+//
+// Placement, congestion queueing and memory are relaxed away, so the
+// bound is valid for every engine: analytic simulator, event-driven
+// runtime, ILP ladder, baselines and replan output alike. A plan whose
+// realized makespan undercuts it is wrong by construction.
+func LowerBound(g *graph.Graph, sys sim.System) (time.Duration, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0, nil
+	}
+	nodes := g.Nodes()
+
+	// Per-node best-case durations and compatible-device sets.
+	durMin := make([]float64, n)
+	compat := make([][]sim.DeviceID, n)
+	for _, nd := range nodes {
+		best := math.Inf(1)
+		for _, d := range sys.Devices {
+			if !sys.CompatibleDevice(nd.Kind, d.ID) {
+				continue
+			}
+			compat[nd.ID] = append(compat[nd.ID], d.ID)
+			speed := d.Speed
+			if speed <= 0 {
+				speed = 1
+			}
+			if dur := math.Round(float64(nd.Cost) / speed); dur < best {
+				best = dur
+			}
+		}
+		if len(compat[nd.ID]) == 0 {
+			return 0, fmt.Errorf("lower bound: node %d (%v) has no compatible device: %w", nd.ID, nd.Kind, ErrAffinity)
+		}
+		durMin[nd.ID] = best
+	}
+
+	// Variables: s_0..s_{n-1} (start times), C at index n. Minimize C.
+	p := lp.NewProblem(n + 1)
+	cVar := n
+	if err := p.SetObjective(cVar, 1); err != nil {
+		return 0, err
+	}
+
+	// Precedence with cheapest-possible communication.
+	for _, e := range g.Edges() {
+		rhs := durMin[e.From] + minComm(sys, compat[e.From], compat[e.To], e.Bytes)
+		if err := p.AddConstraint(lp.Constraint{
+			Terms: []lp.Term{{Var: int(e.To), Coef: 1}, {Var: int(e.From), Coef: -1}},
+			Rel:   lp.GE,
+			RHS:   rhs,
+		}); err != nil {
+			return 0, err
+		}
+	}
+	// Completion: C ≥ s_i + p_i^min.
+	for i := 0; i < n; i++ {
+		if err := p.AddConstraint(lp.Constraint{
+			Terms: []lp.Term{{Var: cVar, Coef: 1}, {Var: i, Coef: -1}},
+			Rel:   lp.GE,
+			RHS:   durMin[i],
+		}); err != nil {
+			return 0, err
+		}
+	}
+	// Aggregate capacity per affinity class: any schedule keeps some
+	// machine busy for at least the class's best-case work share.
+	var gpuWork, cpuWork float64
+	for _, nd := range nodes {
+		if nd.Kind == graph.KindGPU {
+			gpuWork += durMin[nd.ID]
+		} else {
+			cpuWork += durMin[nd.ID]
+		}
+	}
+	if m := len(sys.GPUs()); m > 0 && gpuWork > 0 {
+		if err := p.AddConstraint(lp.Constraint{
+			Terms: []lp.Term{{Var: cVar, Coef: 1}},
+			Rel:   lp.GE,
+			RHS:   gpuWork / float64(m),
+		}); err != nil {
+			return 0, err
+		}
+	}
+	if cpuWork > 0 {
+		if err := p.AddConstraint(lp.Constraint{
+			Terms: []lp.Term{{Var: cVar, Coef: 1}},
+			Rel:   lp.GE,
+			RHS:   cpuWork,
+		}); err != nil {
+			return 0, err
+		}
+	}
+
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return 0, fmt.Errorf("lower bound: relaxation: %w", err)
+	}
+	// Realized makespans are integer nanoseconds, so any true bound t
+	// implies makespan ≥ ⌈t⌉. Back the float objective off by a small
+	// epsilon before taking the ceiling so simplex rounding noise can
+	// only loosen the bound, never overstate it.
+	eps := 0.5 + 1e-9*math.Abs(sol.Objective)
+	lb := math.Ceil(sol.Objective - eps)
+	if lb < 0 {
+		lb = 0
+	}
+	return time.Duration(lb), nil
+}
+
+// minComm is the cheapest communication time any assignment of the two
+// endpoints allows: zero when they share a compatible device, else the
+// minimum transfer time over compatible device pairs.
+func minComm(sys sim.System, from, to []sim.DeviceID, bytes int64) float64 {
+	best := math.Inf(1)
+	for _, a := range from {
+		for _, b := range to {
+			if t := float64(sys.TransferTime(a, b, bytes)); t < best {
+				best = t
+			}
+			if best == 0 {
+				return 0
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	return best
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package verify_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The sweep's wall-clock-sensitive comparisons consult it:
+// the detector's order-of-magnitude slowdown shifts how a placement
+// budget splits between branch and bound and refinement, which is not
+// the property those comparisons test.
+const raceEnabled = true

@@ -36,6 +36,7 @@ import (
 	"pesto/internal/baselines"
 	"pesto/internal/comm"
 	"pesto/internal/fault"
+	"pesto/internal/gen"
 	"pesto/internal/graph"
 	"pesto/internal/models"
 	"pesto/internal/placement"
@@ -43,6 +44,7 @@ import (
 	"pesto/internal/runtime"
 	"pesto/internal/sim"
 	"pesto/internal/trace"
+	"pesto/internal/verify"
 )
 
 // Core graph types.
@@ -148,6 +150,26 @@ var (
 	ErrWorkerPanic = runtime.ErrWorkerPanic
 	// ErrBadFaultSpec marks malformed fault-spec strings.
 	ErrBadFaultSpec = fault.ErrBadSpec
+	// ErrInvariant is the base error of every plan-verification
+	// failure; the class sentinels in internal/verify (affinity,
+	// colocation, memory, schedule, precedence, device/link overlap,
+	// accounting) all wrap it.
+	ErrInvariant = verify.ErrInvariant
+	// ErrVerification marks plans rejected by post-placement
+	// verification (PlaceOptions.Verify); it wraps the specific
+	// invariant-class error, which in turn wraps ErrInvariant.
+	ErrVerification = placement.ErrVerification
+)
+
+// Verification and generated-workload types (the differential
+// verification harness; see DESIGN.md, "Verification model").
+type (
+	// GenConfig configures the seeded random-DAG generator.
+	GenConfig = gen.Config
+	// GenFamily selects a generated-graph topology family (chains,
+	// diamonds, layered transformer/NMT-like fan-outs, colocation-heavy
+	// variants, unstructured random DAGs).
+	GenFamily = gen.Family
 )
 
 // NewGraph returns an empty computation graph with a capacity hint.
@@ -309,6 +331,33 @@ func BuildModel(name string) (*Graph, error) {
 
 // ModelVariants lists the paper's eleven full-scale variants.
 func ModelVariants() []Variant { return models.PaperVariants() }
+
+// VerifyPlan re-proves a plan against the independent invariant checker
+// and one simulated step: device affinity, colocation integrity, memory
+// capacity, schedule shape, precedence through communication, device
+// and link serialization, FCFS link discipline and makespan accounting.
+// It returns the simulated step so callers get the makespan for free.
+// Rejections wrap ErrInvariant plus a per-class sentinel (see
+// internal/verify).
+func VerifyPlan(g *Graph, sys System, plan Plan) (StepResult, error) {
+	return verify.Check(g, sys, plan)
+}
+
+// MakespanLowerBound computes an LP-relaxation lower bound no feasible
+// placement/schedule of g on sys can beat — the oracle the sweep tests
+// hold every engine to.
+func MakespanLowerBound(g *Graph, sys System) (time.Duration, error) {
+	return verify.LowerBound(g, sys)
+}
+
+// GenerateGraph builds a seeded random computation DAG from one of the
+// generator families. Equal configs yield byte-identical graphs.
+func GenerateGraph(cfg GenConfig) (*Graph, error) { return gen.Generate(cfg) }
+
+// RandomGraphConfig derives a deterministic generator config (family,
+// size, cost/tensor/memory distributions) from a single seed — the
+// instance distribution the `make verify` sweep draws from.
+func RandomGraphConfig(seed int64) GenConfig { return gen.RandomConfig(seed) }
 
 // ProfileCompute estimates per-operation compute times by running the
 // given number of training iterations on the runtime executor (§3.1;
