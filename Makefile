@@ -6,7 +6,7 @@ GO ?= go
 # `make verify` runs the full population.
 SWEEP ?= 1000
 
-.PHONY: build test check bench fmt vet verify
+.PHONY: build test check bench fmt vet verify smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,11 @@ bench:
 # invariant checker and the LP-relaxation lower bound.
 verify:
 	PESTO_SWEEP=$(SWEEP) $(GO) test ./internal/verify/ ./internal/gen/ -count=1 -timeout 30m -run 'TestSweep|TestGenerate' -v
+
+# End-to-end smoke test of the pestod daemon: build, serve, solve,
+# cache-hit byte-identity, /metrics scrape, SIGTERM drain.
+smoke:
+	bash scripts/smoke_pestod.sh
 
 fmt:
 	gofmt -w .

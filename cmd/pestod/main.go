@@ -1,0 +1,117 @@
+// Command pestod serves Pesto placement over HTTP: POST a computation
+// graph and receive a verified, deterministic placement plan. Repeat
+// requests are answered from a content-addressed plan cache; admission
+// control bounds solver load; /metrics exposes Prometheus text.
+//
+// Usage:
+//
+//	pestod [-addr :8080] [-solvers 2] [-queue 8] [-cache 256]
+//	       [-budget 10s] [-max-budget 60s] [-parallel N]
+//	       [-warm-dir graphs/] [-drain-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/place   solve (or replay) a placement; body {"graph":…,"options":…}
+//	POST /v1/trace   same body; returns a Chrome Trace Event timeline
+//	GET  /healthz    liveness + queue/cache gauges
+//	GET  /metrics    Prometheus text exposition
+//
+// SIGINT/SIGTERM drain gracefully: new solve requests get 503, in-flight
+// solves finish (up to -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pesto/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pestod:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pestod", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		solvers  = fs.Int("solvers", 2, "max concurrent solves")
+		queue    = fs.Int("queue", 8, "max requests waiting for a solver slot (-1 = none)")
+		cache    = fs.Int("cache", 256, "plan cache entries")
+		budget   = fs.Duration("budget", 10*time.Second, "default solve budget")
+		maxBud   = fs.Duration("max-budget", 60*time.Second, "maximum solve budget a request may ask for")
+		parallel = fs.Int("parallel", 0, "per-solve worker count (0 = GOMAXPROCS)")
+		warmDir  = fs.String("warm-dir", "", "directory of graph JSON files to pre-solve at startup")
+		drainTO  = fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight solves on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := service.New(service.Config{
+		MaxConcurrentSolves: *solvers,
+		QueueDepth:          *queue,
+		CacheEntries:        *cache,
+		DefaultBudget:       *budget,
+		MaxBudget:           *maxBud,
+		Parallel:            *parallel,
+	})
+
+	if *warmDir != "" {
+		start := time.Now()
+		n, err := srv.WarmFromDir(context.Background(), *warmDir)
+		if err != nil {
+			return fmt.Errorf("warm-up from %s: %w", *warmDir, err)
+		}
+		log.Printf("warmed %d plans from %s in %v", n, *warmDir, time.Since(start).Round(time.Millisecond))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("pestod listening on %s (solvers=%d queue=%d cache=%d budget=%v)",
+		ln.Addr(), *solvers, *queue, *cache, *budget)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		log.Printf("received %v, draining (timeout %v)", s, *drainTO)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	// Drain first: new solve requests 503 while in-flight solves finish,
+	// then stop accepting connections at all.
+	drainErr := srv.Drain(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if drainErr != nil {
+		log.Printf("drain incomplete: %v (in-flight solves were cancelled)", drainErr)
+	} else {
+		log.Printf("drained cleanly")
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"sort"
+)
+
+// fingerprintVersion is folded into every fingerprint so the hash
+// changes whenever the canonical serialization below does — a cached
+// plan keyed by an old layout can never be served against a new one.
+const fingerprintVersion = "pesto/graph-fingerprint/v1\n"
+
+// Fingerprint returns a SHA-256 content address of the graph's
+// placement-relevant content. Two graphs share a fingerprint exactly
+// when every input the placement pipeline consumes is equal: node
+// count, and per node (in ID order) the kind, compute cost, memory
+// footprint, colocation group, layer and branch indices; plus the edge
+// set with its tensor sizes.
+//
+// The serialization is canonical:
+//
+//   - Clone()d graphs hash identically (the hash reads only node and
+//     edge values, never slice capacities or addresses).
+//   - Edge-insertion order is irrelevant: edges are hashed sorted by
+//     (From, To). Node order is NOT normalized away — AddNode order
+//     defines the dense NodeIDs that plans index by, so two graphs
+//     built in different node orders are semantically different even
+//     when isomorphic.
+//   - Node names are excluded: they label operations for humans and
+//     never reach a placement decision, so renaming a graph keeps its
+//     plans (and cache entries) valid.
+//
+// The fingerprint is the cache key of the plan-serving layer
+// (internal/service); JSON round-trips preserve it because the codec
+// carries every hashed field.
+func (g *Graph) Fingerprint() [32]byte {
+	h := sha256.New()
+	h.Write([]byte(fingerprintVersion))
+	writeU64(h, uint64(len(g.nodes)))
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		writeU64(h, uint64(n.Kind))
+		writeU64(h, uint64(n.Cost))
+		writeU64(h, uint64(n.Memory))
+		writeU64(h, uint64(len(n.Coloc)))
+		h.Write([]byte(n.Coloc))
+		writeU64(h, uint64(int64(n.Layer)))
+		writeU64(h, uint64(int64(n.Branch)))
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].From != edges[b].From {
+			return edges[a].From < edges[b].From
+		}
+		return edges[a].To < edges[b].To
+	})
+	writeU64(h, uint64(len(edges)))
+	for _, e := range edges {
+		writeU64(h, uint64(e.From))
+		writeU64(h, uint64(e.To))
+		writeU64(h, uint64(e.Bytes))
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func writeU64(h hash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}

@@ -1,0 +1,51 @@
+package placement
+
+import "time"
+
+// Deadline thresholds for StageForDeadline. The exact ILP pipeline is
+// only worth entering when it has room to coarsen, solve and refine;
+// the warm-start+refinement pipeline produces useful plans within a
+// few hundred milliseconds; below that only the near-instant baseline
+// heuristics can answer in time.
+const (
+	// refineDeadline is the minimum budget at which the
+	// warm-start+refinement rung is attempted.
+	refineDeadline = 250 * time.Millisecond
+	// ilpDeadline is the minimum budget at which the exact ILP rung is
+	// attempted.
+	ilpDeadline = 2 * time.Second
+)
+
+// StageForDeadline maps a solve-time budget to the deepest
+// degradation-ladder rung worth starting at: generous budgets afford
+// the exact ILP, mid-range budgets the warm-start+refinement pipeline,
+// and tight ones go straight to the heuristic fallback. A non-positive
+// budget means "no deadline" and runs the full ladder.
+//
+// This is the admission-time mapping the serving layer
+// (internal/service) applies to per-request deadlines: requests in a
+// hurry are not made to wait for an ILP attempt that would blow their
+// deadline and then degrade anyway — they enter the ladder at the rung
+// their budget can actually pay for, via Options.StartStage.
+func StageForDeadline(budget time.Duration) Stage {
+	switch {
+	case budget <= 0:
+		return StageILP
+	case budget < refineDeadline:
+		return StageFallback
+	case budget < ilpDeadline:
+		return StageRefine
+	default:
+		return StageILP
+	}
+}
+
+// stagesFrom drops the ladder rungs above start, keeping at least the
+// last rung so every request gets some answer. Rungs are ordered by
+// their Stage value (StageILP < StageRefine < StageFallback).
+func stagesFrom(stages []stageDef, start Stage) []stageDef {
+	for len(stages) > 1 && stages[0].stage < start {
+		stages = stages[1:]
+	}
+	return stages
+}

@@ -1,0 +1,111 @@
+package placement
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pesto/internal/gen"
+	"pesto/internal/sim"
+)
+
+func TestStageForDeadline(t *testing.T) {
+	cases := []struct {
+		budget time.Duration
+		want   Stage
+	}{
+		{0, StageILP},
+		{-time.Second, StageILP},
+		{50 * time.Millisecond, StageFallback},
+		{refineDeadline - time.Nanosecond, StageFallback},
+		{refineDeadline, StageRefine},
+		{time.Second, StageRefine},
+		{ilpDeadline, StageILP},
+		{time.Minute, StageILP},
+	}
+	for _, c := range cases {
+		if got := StageForDeadline(c.budget); got != c.want {
+			t.Errorf("StageForDeadline(%v) = %v, want %v", c.budget, got, c.want)
+		}
+	}
+}
+
+func TestStagesFrom(t *testing.T) {
+	full := []stageDef{{StageILP, nil}, {StageRefine, nil}, {StageFallback, nil}}
+	if got := stagesFrom(full, 0); len(got) != 3 {
+		t.Fatalf("StartStage zero: got %d stages, want 3", len(got))
+	}
+	if got := stagesFrom(full, StageRefine); len(got) != 2 || got[0].stage != StageRefine {
+		t.Fatalf("StartStage refine: got %v", got)
+	}
+	if got := stagesFrom(full, StageFallback); len(got) != 1 || got[0].stage != StageFallback {
+		t.Fatalf("StartStage fallback: got %v", got)
+	}
+	// Past the last rung: keep the last rung rather than an empty ladder.
+	if got := stagesFrom(full, StageReplan); len(got) != 1 || got[0].stage != StageFallback {
+		t.Fatalf("StartStage past end: got %v", got)
+	}
+}
+
+// TestPlaceStartStage proves StartStage actually skips rungs: a
+// StageHook observes which rungs run, and the provenance records the
+// starting rung as non-degraded (degradation is relative to the
+// request, not the full ladder).
+func TestPlaceStartStage(t *testing.T) {
+	g, err := gen.Generate(gen.Config{Family: gen.Layered, Seed: 7, Nodes: 16})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	sys := sim.NewSystem(2, 16<<30)
+	for _, start := range []Stage{StageRefine, StageFallback} {
+		var seen []Stage
+		res, err := Place(context.Background(), g, sys, Options{
+			ILPTimeLimit: 2 * time.Second,
+			StartStage:   start,
+			StageHook: func(s Stage) error {
+				seen = append(seen, s)
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatalf("Place(start=%v): %v", start, err)
+		}
+		for _, s := range seen {
+			if s < start {
+				t.Errorf("start=%v: rung %v ran despite being above the starting rung", start, s)
+			}
+		}
+		if res.Provenance.Stage != start {
+			t.Errorf("start=%v: served by %v", start, res.Provenance.Stage)
+		}
+		if res.Provenance.Degraded {
+			t.Errorf("start=%v: plan marked degraded although the requested rung served it", start)
+		}
+		if perr := res.Provenance.Err(); perr != nil {
+			t.Errorf("start=%v: Provenance.Err() = %v, want nil", start, perr)
+		}
+	}
+}
+
+// TestPlaceMultiGPUStartStage covers the k-GPU ladder (refine →
+// fallback) with a fallback start.
+func TestPlaceMultiGPUStartStage(t *testing.T) {
+	g, err := gen.Generate(gen.Config{Family: gen.Diamond, Seed: 11, Nodes: 16})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	sys := sim.NewSystem(4, 16<<30)
+	res, err := PlaceMultiGPU(context.Background(), g, sys, Options{
+		ILPTimeLimit: time.Second,
+		StartStage:   StageFallback,
+	})
+	if err != nil {
+		t.Fatalf("PlaceMultiGPU: %v", err)
+	}
+	if res.Provenance.Stage != StageFallback {
+		t.Fatalf("served by %v, want %v", res.Provenance.Stage, StageFallback)
+	}
+	if res.Provenance.Degraded {
+		t.Fatal("plan marked degraded although the fallback rung was requested")
+	}
+}

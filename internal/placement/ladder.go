@@ -139,11 +139,11 @@ func Place(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*
 	if opts.DisableFallback {
 		res, err = placeILP(ctx, g, sys, opts)
 	} else {
-		res, err = runLadder(ctx, g, sys, opts, []stageDef{
+		res, err = runLadder(ctx, g, sys, opts, stagesFrom([]stageDef{
 			{StageILP, placeILP},
 			{StageRefine, placeRefine},
 			{StageFallback, placeFallback},
-		})
+		}, opts.StartStage))
 	}
 	if err != nil {
 		return nil, err

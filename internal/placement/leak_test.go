@@ -1,0 +1,98 @@
+package placement
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"pesto/internal/gen"
+	"pesto/internal/sim"
+)
+
+// waitGoroutines polls until the goroutine count drops to at most want
+// or the deadline passes, returning the last observed count. Freshly
+// cancelled contexts and finished workers need a few scheduler rounds
+// to unwind.
+func waitGoroutines(t *testing.T, want int, deadline time.Duration) int {
+	t.Helper()
+	var n int
+	for end := time.Now().Add(deadline); time.Now().Before(end); {
+		n = runtime.NumGoroutine()
+		if n <= want {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	return n
+}
+
+// TestPlaceCancellationNoGoroutineLeak is the end-to-end audit of
+// request-context cancellation: cancelling a Place call mid-solve — at
+// any Parallel width, while the ILP branch and bound and the
+// refinement fan-outs are in flight — must leave no goroutine behind.
+// The engine pool guarantees this by construction (engine.Run returns
+// only after its WaitGroup drains), so a leak here means a fan-out
+// escaped the pool.
+func TestPlaceCancellationNoGoroutineLeak(t *testing.T) {
+	g, err := gen.Generate(gen.Config{Family: gen.Layered, Seed: 3, Nodes: 48})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	sys := sim.NewSystem(2, 16<<30)
+	before := runtime.NumGoroutine()
+
+	for _, parallel := range []int{1, 4, 8} {
+		// Cancel mid-solve from a timer: the solve gets enough time to
+		// fan out workers, then the context dies under them.
+		for _, delay := range []time.Duration{0, 5 * time.Millisecond, 25 * time.Millisecond} {
+			ctx, cancel := context.WithTimeout(context.Background(), delay)
+			_, perr := Place(ctx, g, sys, Options{
+				ILPTimeLimit: 5 * time.Second,
+				Parallel:     parallel,
+				Seed:         1,
+			})
+			cancel()
+			if delay == 0 && perr == nil {
+				t.Fatalf("parallel=%d: Place succeeded despite an already-expired context", parallel)
+			}
+			// A fast solve may beat the longer delays; when it lost the
+			// race, the error must wrap the context error.
+			if perr != nil && !errors.Is(perr, context.DeadlineExceeded) && !errors.Is(perr, context.Canceled) {
+				t.Fatalf("parallel=%d delay=%v: error %v does not wrap the context error", parallel, delay, perr)
+			}
+		}
+	}
+
+	// A couple of extra goroutines of slack: the runtime's own
+	// background goroutines (GC workers, timer scavenger) come and go.
+	if after := waitGoroutines(t, before+3, 5*time.Second); after > before+3 {
+		t.Fatalf("goroutine leak: %d before, %d after cancelled Place calls", before, after)
+	}
+}
+
+// TestPlaceMultiGPUCancellationNoGoroutineLeak covers the ILP-free
+// k-GPU pipeline's fan-outs (seeds, refinement, finalize).
+func TestPlaceMultiGPUCancellationNoGoroutineLeak(t *testing.T) {
+	g, err := gen.Generate(gen.Config{Family: gen.Diamond, Seed: 9, Nodes: 40})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	sys := sim.NewSystem(4, 16<<30)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 4; i++ {
+		// A fast solve may legitimately beat the longer delays; the
+		// leak check below is the assertion, not the error.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i)*5*time.Millisecond)
+		_, perr := PlaceMultiGPU(ctx, g, sys, Options{ILPTimeLimit: 5 * time.Second, Parallel: 8, Seed: 1})
+		cancel()
+		if i == 0 && perr == nil {
+			t.Fatal("PlaceMultiGPU succeeded despite an already-expired context")
+		}
+	}
+	if after := waitGoroutines(t, before+3, 5*time.Second); after > before+3 {
+		t.Fatalf("goroutine leak: %d before, %d after cancelled PlaceMultiGPU calls", before, after)
+	}
+}

@@ -37,10 +37,10 @@ func PlaceMultiGPU(ctx context.Context, g *graph.Graph, sys sim.System, opts Opt
 		res, err = placeRefine(ctx, g, sys, opts)
 	} else {
 		// k > 2 has no exact rung; its ladder is refine → heuristics.
-		res, err = runLadder(ctx, g, sys, opts, []stageDef{
+		res, err = runLadder(ctx, g, sys, opts, stagesFrom([]stageDef{
 			{StageRefine, placeRefine},
 			{StageFallback, placeFallback},
-		})
+		}, opts.StartStage))
 	}
 	if err != nil {
 		return nil, err

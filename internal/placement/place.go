@@ -107,6 +107,17 @@ type Options struct {
 	// of degrading to the warm-start or baseline stages. Ablations and
 	// tests that must observe the exact pipeline's failure use this.
 	DisableFallback bool
+	// StartStage skips the degradation-ladder rungs above it: Place
+	// starts at the given rung instead of the exact ILP. StageRefine
+	// starts at the warm-start+refinement pipeline, StageFallback goes
+	// straight to the near-instant heuristics. Zero (or StageILP) runs
+	// the full ladder. A plan served by the requested starting rung is
+	// not Degraded — degradation is measured against what was asked
+	// for, not against the full ladder. The serving layer maps
+	// per-request deadlines to this field via StageForDeadline.
+	// Ignored when DisableFallback is set (that flag pins the exact
+	// pipeline).
+	StartStage Stage
 	// StageHook, when non-nil, is invoked at the start of every ladder
 	// stage attempt. A non-nil return fails that attempt; a panic
 	// exercises the ladder's panic recovery. It exists for fault

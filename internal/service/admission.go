@@ -1,0 +1,74 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// Errors reported by admission control. Handlers map them onto the
+// overload status codes: ErrSaturated → 429 (the wait queue itself is
+// full — retry later), ErrQueueTimeout → 503 (the request queued but
+// its deadline passed before a solver slot freed). Both responses
+// carry Retry-After.
+var (
+	ErrSaturated    = errors.New("solver saturated: wait queue full")
+	ErrQueueTimeout = errors.New("deadline passed while queued for a solver slot")
+)
+
+// admission bounds concurrent solver load: at most `slots` solves run
+// at once, and at most `queueDepth` further requests may wait for a
+// slot. Everything beyond that is rejected immediately — a saturated
+// solver that queues unboundedly converts overload into latency and
+// then into memory exhaustion; bounded admission converts it into fast
+// 429s the client can back off on.
+type admission struct {
+	slots      chan struct{}
+	queueDepth int64
+	queued     atomic.Int64
+}
+
+func newAdmission(concurrency, queueDepth int) *admission {
+	if concurrency <= 0 {
+		concurrency = 2
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		slots:      make(chan struct{}, concurrency),
+		queueDepth: int64(queueDepth),
+	}
+}
+
+// acquire claims a solver slot, waiting in the bounded queue when all
+// slots are busy. It returns a release func on success. Waiting is
+// bounded by ctx — a request whose deadline passes while queued gets
+// ErrQueueTimeout, not a late solve it can no longer use.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	release = func() { <-a.slots }
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		return release, nil
+	default:
+	}
+	// Join the bounded wait queue.
+	if a.queued.Add(1) > a.queueDepth {
+		a.queued.Add(-1)
+		return nil, ErrSaturated
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return release, nil
+	case <-ctx.Done():
+		return nil, errors.Join(ErrQueueTimeout, ctx.Err())
+	}
+}
+
+// inFlight reports the number of running solves.
+func (a *admission) inFlight() int64 { return int64(len(a.slots)) }
+
+// queueLen reports the number of requests waiting for a slot.
+func (a *admission) queueLen() int64 { return a.queued.Load() }

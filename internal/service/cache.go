@@ -1,0 +1,145 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheEntry is one content-addressed plan. An entry is inserted
+// before its fill completes so concurrent requests for the same key
+// coalesce onto one solve (singleflight): the first requester becomes
+// the leader and fills the entry; followers block on ready.
+type cacheEntry struct {
+	key   [32]byte
+	elem  *list.Element
+	ready chan struct{} // closed once body/err are final
+	// done is written under the cache mutex strictly before ready is
+	// closed; the evictor reads it under the same mutex, so it never
+	// needs to poll the channel.
+	done bool
+	body []byte
+	err  error
+}
+
+// planCache is the content-addressed plan store: a bounded LRU map
+// from cache key (graph fingerprint + normalized options) to the
+// serialized response body, with singleflight fill. Hits return the
+// stored bytes verbatim, which is what makes repeated identical
+// requests byte-identical.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[[32]byte]*cacheEntry
+	lru     *list.List // front = most recently used; values are *cacheEntry
+
+	// fills counts fill functions started — the singleflight
+	// observable: after any mix of concurrent requests with no
+	// evictions, fills == distinct keys.
+	fills atomic.Int64
+	// evictions counts entries dropped by the LRU bound.
+	evictions atomic.Int64
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &planCache{
+		cap:     capacity,
+		entries: make(map[[32]byte]*cacheEntry, capacity),
+		lru:     list.New(),
+	}
+}
+
+// getOrFill returns the body stored under key, running fill to produce
+// it on first request. Exactly one fill runs per live key regardless
+// of concurrency; followers wait for the leader (or their ctx).
+// A failed fill is not cached — the entry is removed so a later
+// request retries — but every follower already waiting shares the
+// leader's error rather than stampeding the solver.
+//
+// hit reports whether the body came from the cache: false only for the
+// leader that ran fill.
+func (c *planCache) getOrFill(ctx context.Context, key [32]byte, fill func() ([]byte, error)) (body []byte, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.body, true, e.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.evictLocked()
+	c.mu.Unlock()
+
+	c.fills.Add(1)
+	body, err = fill()
+
+	c.mu.Lock()
+	e.body, e.err = body, err
+	e.done = true
+	if err != nil {
+		c.removeLocked(e)
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return body, false, err
+}
+
+// peek reports whether key is cached and filled, without touching LRU
+// order. The health endpoint and tests use it.
+func (c *planCache) peek(key [32]byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return ok && e.done && e.err == nil
+}
+
+// len reports the number of live entries (including in-flight fills).
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// cache fits its bound. In-flight fills are never evicted — their
+// leaders and followers hold references — so the cache can transiently
+// exceed cap by the number of concurrent distinct fills.
+func (c *planCache) evictLocked() {
+	for len(c.entries) > c.cap {
+		victim := (*cacheEntry)(nil)
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			if e := el.Value.(*cacheEntry); e.done {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return // everything over the bound is in flight
+		}
+		c.removeLocked(victim)
+		c.evictions.Add(1)
+	}
+}
+
+// removeLocked detaches an entry from both indexes. Idempotent: a
+// leader finishing after its entry was evicted must not corrupt the
+// list.
+func (c *planCache) removeLocked(e *cacheEntry) {
+	if cur, ok := c.entries[e.key]; ok && cur == e {
+		delete(c.entries, e.key)
+	}
+	if e.elem != nil {
+		c.lru.Remove(e.elem)
+		e.elem = nil
+	}
+}

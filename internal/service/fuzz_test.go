@@ -1,0 +1,90 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pesto/internal/gen"
+)
+
+// FuzzDecodePlaceRequest holds the request decoder to its contract: any
+// input either decodes into a valid request or fails with an error that
+// maps to a 4xx (ErrBadRequest or ErrTooLarge). Nothing a client sends
+// may panic the daemon.
+func FuzzDecodePlaceRequest(f *testing.F) {
+	g, err := gen.Generate(gen.Config{Family: gen.Diamond, Seed: 1, Nodes: 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := json.Marshal(PlaceRequest{Graph: g, Options: RequestOptions{BudgetMs: 100}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(valid))
+	f.Add(`{"graph": null}`)
+	f.Add(`{"graph": {"nodes": [], "edges": []}}`)
+	f.Add(`{"graph": {"nodes": [{"id": 0, "kind": "gpu"}], "edges": [{"from": 0, "to": 0}]}}`)
+	f.Add(`{"graph": {"nodes": [{"id": 5}]}}`)
+	f.Add(`{"options": {"gpus": -1}}`)
+	f.Add(`{} {}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`"`)
+	f.Add(strings.Repeat("9", 4096))
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := DecodePlaceRequest(strings.NewReader(body), 1<<20, 1000)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) && !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("error %v maps to 500, want a 4xx error", err)
+			}
+			return
+		}
+		if req == nil || req.Graph == nil {
+			t.Fatal("nil request without error")
+		}
+		// A decoded graph must be structurally valid: the solver relies
+		// on it downstream.
+		if err := req.Graph.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid graph: %v", err)
+		}
+		// Options must either normalize or reject as a bad request.
+		if _, err := req.Options.normalized(Config{}.withDefaults()); err != nil && !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("normalize error %v is not ErrBadRequest", err)
+		}
+	})
+}
+
+// FuzzPlaceHandler drives the full HTTP surface: malformed bodies must
+// come back 400/413, never 500, and never crash the server.
+func FuzzPlaceHandler(f *testing.F) {
+	f.Add(`{"graph": [`)
+	f.Add(`{"graph": {"nodes": [{"id": 0, "kind": "gpu", "costNanos": 5}], "edges": []}, "options": {"budgetMs": 1}}`)
+	f.Add(``)
+
+	s := New(Config{MaxBodyBytes: 1 << 16, MaxGraphNodes: 64, DefaultBudget: 10 * time.Millisecond})
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/place", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge,
+			http.StatusUnprocessableEntity, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("status %d for body %q: %s", rec.Code, body, rec.Body.String())
+		}
+		if rec.Code != http.StatusOK {
+			var er ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+				t.Fatalf("non-2xx body %q is not an ErrorResponse", rec.Body.String())
+			}
+		} else if !bytes.Contains(rec.Body.Bytes(), []byte(`"verified":true`)) {
+			t.Fatalf("200 response without verified plan: %s", rec.Body.String())
+		}
+	})
+}

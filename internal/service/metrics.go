@@ -1,0 +1,154 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// solveBuckets are the upper bounds (seconds) of the solve-latency
+// histogram. They bracket the serving regimes: cache hits and
+// heuristic-rung solves (≤ 25ms), refinement-rung solves (≤ 1s), and
+// ILP-rung solves (seconds to tens of seconds).
+var solveBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.25, 1, 2.5, 10, 30}
+
+// metrics is the daemon's instrumentation: counters and one histogram
+// behind a mutex, plus live gauges read at scrape time. The exposition
+// is the Prometheus text format, hand-rolled — no dependencies — with
+// every label set emitted in sorted order so consecutive scrapes of an
+// idle server are byte-identical.
+type metrics struct {
+	mu sync.Mutex
+	// requests[endpoint][outcome] counts finished requests.
+	requests map[string]map[string]int64
+	// cacheEvents[event] counts hit / miss / evict.
+	cacheEvents map[string]int64
+	// planStages[stage] counts served plans by degradation-ladder rung
+	// (provenance).
+	planStages map[string]int64
+	// Solve-latency histogram (cumulative buckets + sum + count).
+	solveBucketN [10]int64 // len(solveBuckets) + 1 for +Inf
+	solveSum     float64
+	solveCount   int64
+
+	// Gauges read live at scrape time.
+	queueDepth   func() int64
+	inFlight     func() int64
+	cacheEntries func() int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:    make(map[string]map[string]int64),
+		cacheEvents: make(map[string]int64),
+		planStages:  make(map[string]int64),
+	}
+}
+
+func (m *metrics) request(endpoint, outcome string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byOutcome := m.requests[endpoint]
+	if byOutcome == nil {
+		byOutcome = make(map[string]int64)
+		m.requests[endpoint] = byOutcome
+	}
+	byOutcome[outcome]++
+}
+
+func (m *metrics) cacheEvent(event string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cacheEvents[event]++
+}
+
+func (m *metrics) planServed(stage string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.planStages[stage]++
+}
+
+func (m *metrics) observeSolve(d time.Duration) {
+	s := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	idx := len(solveBuckets) // +Inf
+	for i, ub := range solveBuckets {
+		if s <= ub {
+			idx = i
+			break
+		}
+	}
+	m.solveBucketN[idx]++
+	m.solveSum += s
+	m.solveCount++
+}
+
+// write emits the Prometheus text exposition.
+func (m *metrics) write(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP pestod_requests_total Finished HTTP requests by endpoint and outcome.")
+	fmt.Fprintln(w, "# TYPE pestod_requests_total counter")
+	for _, ep := range sortedKeys(m.requests) {
+		byOutcome := m.requests[ep]
+		for _, oc := range sortedKeys(byOutcome) {
+			fmt.Fprintf(w, "pestod_requests_total{endpoint=%q,outcome=%q} %d\n", ep, oc, byOutcome[oc])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP pestod_cache_events_total Plan-cache events (hit, miss, evict).")
+	fmt.Fprintln(w, "# TYPE pestod_cache_events_total counter")
+	for _, ev := range sortedKeys(m.cacheEvents) {
+		fmt.Fprintf(w, "pestod_cache_events_total{event=%q} %d\n", ev, m.cacheEvents[ev])
+	}
+
+	fmt.Fprintln(w, "# HELP pestod_plans_total Served plans by degradation-ladder rung.")
+	fmt.Fprintln(w, "# TYPE pestod_plans_total counter")
+	for _, st := range sortedKeys(m.planStages) {
+		fmt.Fprintf(w, "pestod_plans_total{stage=%q} %d\n", st, m.planStages[st])
+	}
+
+	fmt.Fprintln(w, "# HELP pestod_queue_depth Requests waiting for a solver slot.")
+	fmt.Fprintln(w, "# TYPE pestod_queue_depth gauge")
+	fmt.Fprintf(w, "pestod_queue_depth %d\n", gauge(m.queueDepth))
+	fmt.Fprintln(w, "# HELP pestod_inflight_solves Solves currently running.")
+	fmt.Fprintln(w, "# TYPE pestod_inflight_solves gauge")
+	fmt.Fprintf(w, "pestod_inflight_solves %d\n", gauge(m.inFlight))
+	fmt.Fprintln(w, "# HELP pestod_cache_entries Live plan-cache entries.")
+	fmt.Fprintln(w, "# TYPE pestod_cache_entries gauge")
+	fmt.Fprintf(w, "pestod_cache_entries %d\n", gauge(m.cacheEntries))
+
+	fmt.Fprintln(w, "# HELP pestod_solve_duration_seconds Wall-clock latency of cache-miss solves.")
+	fmt.Fprintln(w, "# TYPE pestod_solve_duration_seconds histogram")
+	cum := int64(0)
+	for i, ub := range solveBuckets {
+		cum += m.solveBucketN[i]
+		fmt.Fprintf(w, "pestod_solve_duration_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	cum += m.solveBucketN[len(solveBuckets)]
+	fmt.Fprintf(w, "pestod_solve_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "pestod_solve_duration_seconds_sum %g\n", m.solveSum)
+	fmt.Fprintf(w, "pestod_solve_duration_seconds_count %d\n", m.solveCount)
+}
+
+func gauge(f func() int64) int64 {
+	if f == nil {
+		return 0
+	}
+	return f()
+}
+
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

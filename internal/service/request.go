@@ -1,0 +1,244 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"pesto/internal/graph"
+	"pesto/internal/placement"
+	"pesto/internal/sim"
+)
+
+// Errors reported by request decoding and validation. Every one of
+// them maps to a 4xx status; nothing a client sends may panic the
+// daemon (the fuzz target holds the decoder to this).
+var (
+	// ErrBadRequest marks malformed or invalid request bodies (400).
+	ErrBadRequest = errors.New("bad request")
+	// ErrTooLarge marks request bodies or graphs over the configured
+	// limits (413).
+	ErrTooLarge = errors.New("request too large")
+)
+
+// PlaceRequest is the JSON body of POST /v1/place and POST /v1/trace:
+// a computation graph in the internal/graph codec plus normalized
+// placement options.
+type PlaceRequest struct {
+	// Graph is the computation DAG to place, in the same JSON schema
+	// WriteGraph emits. Decoding validates structure and acyclicity.
+	Graph *graph.Graph `json:"graph"`
+	// Options configures the target system and the solve.
+	Options RequestOptions `json:"options"`
+}
+
+// RequestOptions is the client-facing option surface. The zero value
+// of every field means "use the default"; normalized resolves the
+// defaults and bounds so equal requests always mean equal cache keys.
+type RequestOptions struct {
+	// GPUs is the number of GPUs per host; zero means 2 (the paper's
+	// testbed).
+	GPUs int `json:"gpus,omitempty"`
+	// Hosts is the number of hosts; zero means 1. Hosts > 1 builds the
+	// hierarchical multi-host topology (NVLink within a host, a
+	// datacenter link between hosts).
+	Hosts int `json:"hosts,omitempty"`
+	// GPUMemBytes is the per-GPU memory capacity; zero means 16 GiB.
+	GPUMemBytes int64 `json:"gpuMemBytes,omitempty"`
+	// BudgetMs bounds the solve in milliseconds and selects the
+	// degradation-ladder entry rung (tight budgets start at the
+	// heuristic rung, generous ones at the exact ILP). Zero means the
+	// server's default budget; values above the server's maximum are
+	// clamped down to it.
+	BudgetMs int64 `json:"budgetMs,omitempty"`
+	// Seed seeds the deterministic parts of the heuristics.
+	Seed int64 `json:"seed,omitempty"`
+	// ScheduleFromILP attaches an explicit per-device order to the plan
+	// (Pesto's control dependencies) instead of placement-only FIFO.
+	ScheduleFromILP bool `json:"scheduleFromILP,omitempty"`
+	// Verify requests the verification verdict in the response. It
+	// does not change the plan: every solve that fills the cache is
+	// verified unconditionally (a poisoned cache entry is impossible),
+	// so this flag only surfaces what already happened.
+	Verify bool `json:"verify,omitempty"`
+	// NoCache bypasses the plan cache for this request: the solve runs
+	// fresh and its result is not stored. Benchmarks and ablations use
+	// it; production callers should not.
+	NoCache bool `json:"noCache,omitempty"`
+}
+
+// normalized resolves defaults and enforces bounds. The returned
+// options are what the cache key and the solver consume; requests that
+// normalize equal are the same request.
+func (o RequestOptions) normalized(cfg Config) (RequestOptions, error) {
+	if o.GPUs == 0 {
+		o.GPUs = 2
+	}
+	if o.GPUs < 2 || o.GPUs > 64 {
+		return o, fmt.Errorf("gpus %d out of range [2,64]: %w", o.GPUs, ErrBadRequest)
+	}
+	if o.Hosts == 0 {
+		o.Hosts = 1
+	}
+	if o.Hosts < 1 || o.Hosts > 16 {
+		return o, fmt.Errorf("hosts %d out of range [1,16]: %w", o.Hosts, ErrBadRequest)
+	}
+	if o.GPUMemBytes == 0 {
+		o.GPUMemBytes = 16 << 30
+	}
+	if o.GPUMemBytes < 0 {
+		return o, fmt.Errorf("gpuMemBytes %d negative: %w", o.GPUMemBytes, ErrBadRequest)
+	}
+	if o.BudgetMs < 0 {
+		return o, fmt.Errorf("budgetMs %d negative: %w", o.BudgetMs, ErrBadRequest)
+	}
+	if o.BudgetMs == 0 {
+		// A sub-millisecond server default must not truncate to zero:
+		// BudgetMs 0 would mean "no ILP time limit".
+		if o.BudgetMs = cfg.DefaultBudget.Milliseconds(); o.BudgetMs == 0 {
+			o.BudgetMs = 1
+		}
+	}
+	if max := cfg.MaxBudget.Milliseconds(); o.BudgetMs > max {
+		o.BudgetMs = max
+	}
+	return o, nil
+}
+
+// budget is the normalized solve budget as a duration.
+func (o RequestOptions) budget() time.Duration {
+	return time.Duration(o.BudgetMs) * time.Millisecond
+}
+
+// system builds the target hardware model.
+func (o RequestOptions) system() sim.System {
+	if o.Hosts > 1 {
+		return sim.NewMultiHostSystem(o.Hosts, o.GPUs, o.GPUMemBytes)
+	}
+	return sim.NewSystem(o.GPUs, o.GPUMemBytes)
+}
+
+// placeOptions maps the normalized request onto the placement
+// pipeline. Verification is always on: no plan enters the cache (or
+// leaves the server) unchecked.
+func (o RequestOptions) placeOptions(cfg Config) placement.Options {
+	budget := o.budget()
+	return placement.Options{
+		ILPTimeLimit:    budget,
+		StartStage:      placement.StageForDeadline(budget),
+		Seed:            o.Seed,
+		Parallel:        cfg.Parallel,
+		ScheduleFromILP: o.ScheduleFromILP,
+		Verify:          true,
+	}
+}
+
+// cacheKeyVersion is folded into every cache key so the key changes
+// whenever the response schema or the option serialization does.
+const cacheKeyVersion = "pesto/service-key/v1\n"
+
+// cacheKey derives the content address of a request: the graph's
+// canonical fingerprint combined with every normalized option that can
+// change the plan bytes. Verify and NoCache are deliberately excluded
+// — neither changes the plan, so requests differing only in them share
+// one cache entry.
+func (o RequestOptions) cacheKey(fp [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte(cacheKeyVersion))
+	h.Write(fp[:])
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	u64(uint64(o.GPUs))
+	u64(uint64(o.Hosts))
+	u64(uint64(o.GPUMemBytes))
+	u64(uint64(o.BudgetMs))
+	u64(uint64(o.Seed))
+	b := uint64(0)
+	if o.ScheduleFromILP {
+		b = 1
+	}
+	u64(b)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// PlaceResponse is the JSON body served for a placed graph. Every
+// field is deterministic for a fixed cache key, so identical requests
+// receive byte-identical bodies (the cache stores and replays the
+// serialized form verbatim). Per-request facts — cache hit or miss,
+// wall-clock solve time — travel in response headers instead.
+type PlaceResponse struct {
+	// Fingerprint is the hex graph fingerprint (content address of the
+	// graph alone).
+	Fingerprint string `json:"fingerprint"`
+	// CacheKey is the hex content address of graph + options — the key
+	// the plan cache stores this response under.
+	CacheKey string `json:"cacheKey"`
+	// Plan is the placement (and optional schedule).
+	Plan sim.Plan `json:"plan"`
+	// Stage names the degradation-ladder rung that produced the plan.
+	Stage string `json:"stage"`
+	// Degraded is true when a rung below the requested entry rung
+	// served the plan.
+	Degraded bool `json:"degraded"`
+	// MakespanNs is the simulated per-step training time of the plan.
+	MakespanNs int64 `json:"makespanNs"`
+	// PredictedNs is the solver's own objective value, when one exists.
+	PredictedNs int64 `json:"predictedNs,omitempty"`
+	// Verified records that the plan passed the independent invariant
+	// checker before entering the cache. Always true on success paths.
+	Verified bool `json:"verified"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// DecodePlaceRequest reads and validates one request body of at most
+// limit bytes. Malformed JSON, schema violations, invalid graphs and
+// oversized bodies are errors (wrapping ErrBadRequest or ErrTooLarge);
+// no input makes it panic — the fuzz target's contract.
+func DecodePlaceRequest(r io.Reader, limit int64, maxNodes int) (*PlaceRequest, error) {
+	if limit <= 0 {
+		limit = 32 << 20
+	}
+	lr := &io.LimitedReader{R: r, N: limit + 1}
+	data, err := io.ReadAll(lr)
+	if err != nil {
+		return nil, fmt.Errorf("read body: %v: %w", err, ErrBadRequest)
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("body over %d bytes: %w", limit, ErrTooLarge)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var req PlaceRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decode request: %v: %w", err, ErrBadRequest)
+	}
+	// Trailing garbage after the JSON value is a malformed request,
+	// not an extension point.
+	if dec.More() {
+		return nil, fmt.Errorf("trailing data after request body: %w", ErrBadRequest)
+	}
+	if req.Graph == nil {
+		return nil, fmt.Errorf("missing graph: %w", ErrBadRequest)
+	}
+	if req.Graph.NumNodes() == 0 {
+		return nil, fmt.Errorf("empty graph: %w", ErrBadRequest)
+	}
+	if maxNodes > 0 && req.Graph.NumNodes() > maxNodes {
+		return nil, fmt.Errorf("graph has %d nodes, limit %d: %w", req.Graph.NumNodes(), maxNodes, ErrTooLarge)
+	}
+	return &req, nil
+}

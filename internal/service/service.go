@@ -1,0 +1,450 @@
+// Package service turns the Pesto placement pipeline into a
+// long-running placement-as-a-service daemon: clients POST a
+// computation graph (the internal/graph JSON codec) plus options and
+// receive a verified plan as deterministic JSON.
+//
+// The paper's solves are expensive by design (CPLEX minutes on large
+// graphs); the whole point of a serving layer is to pay that cost once
+// and amortize it. Three mechanisms do the amortizing:
+//
+//   - A content-addressed plan cache keyed by the graph's canonical
+//     fingerprint plus the normalized options, with LRU eviction and
+//     singleflight fill: N concurrent requests for one graph trigger
+//     exactly one solve, and repeat requests are answered from memory
+//     with byte-identical bodies.
+//   - Admission control: bounded solver concurrency, a bounded wait
+//     queue, and per-request deadlines mapped onto the degradation
+//     ladder's entry rung (tight budget → heuristic rung, generous →
+//     exact ILP). Saturation answers 429/503 with Retry-After instead
+//     of queueing unboundedly.
+//   - Every cache-filling solve runs with verification on: a plan that
+//     fails the independent invariant checker never enters the cache,
+//     so a poisoned cache entry is impossible.
+//
+// The package uses only the standard library (net/http, no deps) and
+// exposes /v1/place, /v1/trace, /healthz and a hand-rolled Prometheus
+// /metrics. See DESIGN.md, "Serving model".
+package service
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pesto/internal/graph"
+	"pesto/internal/placement"
+	"pesto/internal/sim"
+	"pesto/internal/trace"
+)
+
+// Config sizes the daemon. The zero value of every field means "use
+// the default".
+type Config struct {
+	// MaxConcurrentSolves bounds simultaneously running solves; zero
+	// means 2. Each solve itself fans out over Parallel workers, so
+	// total solver CPU ≈ MaxConcurrentSolves × Parallel.
+	MaxConcurrentSolves int
+	// QueueDepth bounds requests waiting for a solver slot; zero means
+	// 8, negative means no queue at all. Requests beyond slots+queue
+	// get 429.
+	QueueDepth int
+	// CacheEntries bounds the plan cache; zero means 256.
+	CacheEntries int
+	// DefaultBudget is the solve budget for requests that set none;
+	// zero means 10s.
+	DefaultBudget time.Duration
+	// MaxBudget caps any requested budget; zero means 60s.
+	MaxBudget time.Duration
+	// Parallel is the per-solve worker-pool width handed to the
+	// placement pipeline; zero means GOMAXPROCS.
+	Parallel int
+	// MaxBodyBytes bounds request bodies; zero means 32 MiB.
+	MaxBodyBytes int64
+	// MaxGraphNodes bounds accepted graph sizes; zero means 50000.
+	MaxGraphNodes int
+	// RetryAfter is the hint returned with 429/503; zero means 1s.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrentSolves <= 0 {
+		c.MaxConcurrentSolves = 2
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 8
+	} else if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 10 * time.Second
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 60 * time.Second
+	}
+	if c.MaxBudget < c.DefaultBudget {
+		c.DefaultBudget = c.MaxBudget
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxGraphNodes <= 0 {
+		c.MaxGraphNodes = 50000
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the placement-as-a-service daemon. Construct with New,
+// mount as an http.Handler, and Drain before exit.
+type Server struct {
+	cfg   Config
+	cache *planCache
+	admit *admission
+	met   *metrics
+	mux   *http.ServeMux
+
+	// baseCtx bounds detached cache-fill solves; cancel aborts them
+	// when a drain deadline expires (the hard stop).
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	// solves tracks in-flight solve work for graceful drain. solveMu
+	// orders registration against Drain: a WaitGroup counter may not go
+	// 0→1 concurrently with Wait, so beginSolve registers under the
+	// same lock Drain takes before waiting — a solve either registered
+	// before the drain began or is rejected.
+	solveMu  sync.Mutex
+	solves   sync.WaitGroup
+	draining atomic.Bool
+}
+
+// errDraining rejects solve work that arrives after Drain began.
+var errDraining = errors.New("server draining")
+
+// beginSolve registers one unit of solve work, unless draining.
+// The returned release func is non-nil exactly when err is nil.
+func (s *Server) beginSolve() (release func(), err error) {
+	s.solveMu.Lock()
+	defer s.solveMu.Unlock()
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	s.solves.Add(1)
+	return s.solves.Done, nil
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newPlanCache(cfg.CacheEntries),
+		admit: newAdmission(cfg.MaxConcurrentSolves, cfg.QueueDepth),
+		met:   newMetrics(),
+		mux:   http.NewServeMux(),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.met.queueDepth = s.admit.queueLen
+	s.met.inFlight = s.admit.inFlight
+	s.met.cacheEntries = func() int64 { return int64(s.cache.len()) }
+	s.mux.HandleFunc("POST /v1/place", s.handlePlace)
+	s.mux.HandleFunc("POST /v1/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops admitting solve requests and waits for in-flight solves
+// to finish. If ctx expires first, outstanding solves are cancelled
+// (the hard stop) and ctx's error is returned; the call still waits
+// for them to unwind before returning, so no solver goroutine outlives
+// Drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.solveMu.Lock()
+	s.draining.Store(true)
+	s.solveMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.solves.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// handlePlace serves POST /v1/place: decode, normalize, answer from
+// the cache or solve once, and reply with the deterministic response
+// body. Cache status and solve wall-clock travel in headers
+// (X-Pesto-Cache, X-Pesto-Solve-Ms) so identical requests stay
+// byte-identical in the body.
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.reject(w, "place", http.StatusServiceUnavailable, "draining", errors.New("server draining"))
+		return
+	}
+	req, opts, err := s.decode(r)
+	if err != nil {
+		s.httpError(w, "place", err)
+		return
+	}
+	body, hit, err := s.respond(r.Context(), req, opts)
+	if err != nil {
+		s.httpError(w, "place", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Pesto-Cache", cacheStatus(hit))
+	w.Write(body)
+	s.met.request("place", "ok")
+	s.met.cacheEvent(cacheStatus(hit))
+}
+
+// handleTrace serves POST /v1/trace: the same request body as
+// /v1/place, answered with the Chrome Trace Event timeline
+// (chrome://tracing, Perfetto) of one simulated training step under
+// the plan the place path would return — same cache, same admission.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.reject(w, "trace", http.StatusServiceUnavailable, "draining", errors.New("server draining"))
+		return
+	}
+	req, opts, err := s.decode(r)
+	if err != nil {
+		s.httpError(w, "trace", err)
+		return
+	}
+	body, hit, err := s.respond(r.Context(), req, opts)
+	if err != nil {
+		s.httpError(w, "trace", err)
+		return
+	}
+	var resp PlaceResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		s.httpError(w, "trace", fmt.Errorf("decode cached response: %w", err))
+		return
+	}
+	sys := opts.system()
+	step, err := sim.Run(req.Graph, sys, resp.Plan)
+	if err != nil {
+		s.httpError(w, "trace", fmt.Errorf("simulate for trace: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Pesto-Cache", cacheStatus(hit))
+	w.Header().Set("Content-Disposition", `attachment; filename="pesto-trace.json"`)
+	if err := trace.WriteChromeTrace(w, req.Graph, sys, resp.Plan, step); err != nil {
+		// Headers are gone; nothing recoverable. Count it and move on.
+		s.met.request("trace", "error")
+		return
+	}
+	s.met.request("trace", "ok")
+	s.met.cacheEvent(cacheStatus(hit))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         status,
+		"queueDepth":     s.admit.queueLen(),
+		"inFlightSolves": s.admit.inFlight(),
+		"cacheEntries":   s.cache.len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w)
+}
+
+// decode reads and normalizes one solve-shaped request.
+func (s *Server) decode(r *http.Request) (*PlaceRequest, RequestOptions, error) {
+	req, err := DecodePlaceRequest(r.Body, s.cfg.MaxBodyBytes, s.cfg.MaxGraphNodes)
+	if err != nil {
+		return nil, RequestOptions{}, err
+	}
+	opts, err := req.Options.normalized(s.cfg)
+	if err != nil {
+		return nil, RequestOptions{}, err
+	}
+	return req, opts, nil
+}
+
+// respond produces the deterministic response body for a normalized
+// request: from the cache when possible, by solving otherwise.
+func (s *Server) respond(ctx context.Context, req *PlaceRequest, opts RequestOptions) (body []byte, hit bool, err error) {
+	fp := req.Graph.Fingerprint()
+	key := opts.cacheKey(fp)
+	if opts.NoCache {
+		// Uncached solves run entirely under the request context:
+		// client disconnect aborts the solve (leak_test.go in
+		// internal/placement proves nothing outlives it).
+		body, err = s.solve(ctx, req.Graph, fp, key, opts)
+		return body, false, err
+	}
+	return s.cache.getOrFill(ctx, key, func() ([]byte, error) {
+		// Cache fills are detached from the leader request's context:
+		// with singleflight, followers may be waiting on this solve, so
+		// the leader hanging up must not kill their answer. The solve
+		// budget (plus ladder slack) and the server's own lifetime
+		// still bound it.
+		fillCtx, cancel := context.WithTimeout(s.baseCtx, 2*opts.budget()+5*time.Second)
+		defer cancel()
+		return s.solve(fillCtx, req.Graph, fp, key, opts)
+	})
+}
+
+// solve runs one admitted, verified placement and serializes the
+// deterministic response body.
+func (s *Server) solve(ctx context.Context, g *graph.Graph, fp, key [32]byte, opts RequestOptions) ([]byte, error) {
+	endSolve, err := s.beginSolve()
+	if err != nil {
+		return nil, err
+	}
+	defer endSolve()
+	release, err := s.admit.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	start := time.Now()
+	res, err := placement.PlaceMultiGPU(ctx, g, opts.system(), opts.placeOptions(s.cfg))
+	elapsed := time.Since(start)
+	s.met.observeSolve(elapsed)
+	if err != nil {
+		return nil, err
+	}
+	s.met.planServed(res.Provenance.Stage.String())
+
+	resp := PlaceResponse{
+		Fingerprint: hex.EncodeToString(fp[:]),
+		CacheKey:    hex.EncodeToString(key[:]),
+		Plan:        res.Plan,
+		Stage:       res.Provenance.Stage.String(),
+		Degraded:    res.Provenance.Degraded,
+		MakespanNs:  int64(res.SimulatedMakespan),
+		PredictedNs: int64(res.PredictedMakespan),
+		Verified:    true, // placeOptions forces Verify; failures error out above
+	}
+	return json.Marshal(resp)
+}
+
+// httpError maps an error onto its status code, emits the JSON error
+// body and records the outcome metric.
+func (s *Server) httpError(w http.ResponseWriter, endpoint string, err error) {
+	var code int
+	var outcome string
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		code, outcome = http.StatusBadRequest, "bad_request"
+	case errors.Is(err, ErrTooLarge):
+		code, outcome = http.StatusRequestEntityTooLarge, "too_large"
+	case errors.Is(err, ErrSaturated):
+		code, outcome = http.StatusTooManyRequests, "saturated"
+	case errors.Is(err, ErrQueueTimeout):
+		code, outcome = http.StatusServiceUnavailable, "queue_timeout"
+	case errors.Is(err, errDraining):
+		code, outcome = http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		code, outcome = http.StatusServiceUnavailable, "cancelled"
+	case errors.Is(err, placement.ErrUnsupportedSystem),
+		errors.Is(err, placement.ErrNoPlacement),
+		errors.Is(err, placement.ErrVerification),
+		errors.Is(err, sim.ErrOOM),
+		errors.Is(err, sim.ErrBadPlacement):
+		code, outcome = http.StatusUnprocessableEntity, "unprocessable"
+	default:
+		code, outcome = http.StatusInternalServerError, "error"
+	}
+	s.reject(w, endpoint, code, outcome, err)
+}
+
+// reject writes one JSON error response with overload hints.
+func (s *Server) reject(w http.ResponseWriter, endpoint string, code int, outcome string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+	s.met.request(endpoint, outcome)
+}
+
+func cacheStatus(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// WarmFromDir pre-fills the cache from a directory of graph JSON files
+// (*.json, the WriteGraph schema), solving each with default options.
+// It returns the number of graphs warmed; the first decode or solve
+// error aborts the warm-up. Deterministic order (sorted filenames) so
+// warm-up is reproducible.
+func (s *Server) WarmFromDir(ctx context.Context, dir string) (int, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(names)
+	warmed := 0
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return warmed, err
+		}
+		f, err := os.Open(name)
+		if err != nil {
+			return warmed, err
+		}
+		g, err := graph.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return warmed, fmt.Errorf("warm %s: %w", name, err)
+		}
+		opts, err := RequestOptions{}.normalized(s.cfg)
+		if err != nil {
+			return warmed, err
+		}
+		if _, _, err := s.respond(ctx, &PlaceRequest{Graph: g, Options: opts}, opts); err != nil {
+			return warmed, fmt.Errorf("warm %s: %w", name, err)
+		}
+		warmed++
+	}
+	return warmed, nil
+}
+
+// CacheStats reports fill/eviction counters for tests and operators.
+func (s *Server) CacheStats() (fills, evictions int64, entries int) {
+	return s.cache.fills.Load(), s.cache.evictions.Load(), s.cache.len()
+}

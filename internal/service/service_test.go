@@ -1,0 +1,427 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pesto/internal/gen"
+)
+
+// testBody serializes one solve request for the generated graph.
+func testBody(t *testing.T, seed int64, opts RequestOptions) []byte {
+	t.Helper()
+	g, err := gen.Generate(gen.Config{Family: gen.Diamond, Seed: seed, Nodes: 16})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	body, err := json.Marshal(PlaceRequest{Graph: g, Options: opts})
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	return body
+}
+
+// fastOptions keeps test solves on the heuristic rung (milliseconds,
+// not ILP seconds).
+func fastOptions() RequestOptions { return RequestOptions{BudgetMs: 50} }
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return data
+}
+
+func TestPlaceEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	body := testBody(t, 1, fastOptions())
+
+	resp := post(t, ts.URL+"/v1/place", body)
+	first := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, first)
+	}
+	if got := resp.Header.Get("X-Pesto-Cache"); got != "miss" {
+		t.Fatalf("first request X-Pesto-Cache = %q, want miss", got)
+	}
+	var pr PlaceResponse
+	if err := json.Unmarshal(first, &pr); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	if !pr.Verified {
+		t.Fatal("response not verified")
+	}
+	if pr.MakespanNs <= 0 {
+		t.Fatalf("non-positive makespan %d", pr.MakespanNs)
+	}
+	if len(pr.Fingerprint) != 64 || len(pr.CacheKey) != 64 {
+		t.Fatalf("bad content addresses: fp=%q key=%q", pr.Fingerprint, pr.CacheKey)
+	}
+
+	// The identical request must be a cache hit with a byte-identical
+	// body.
+	resp = post(t, ts.URL+"/v1/place", body)
+	second := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Pesto-Cache"); got != "hit" {
+		t.Fatalf("repeat X-Pesto-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("repeat response differs:\n%s\nvs\n%s", first, second)
+	}
+	if fills, _, _ := s.CacheStats(); fills != 1 {
+		t.Fatalf("fills = %d, want 1", fills)
+	}
+}
+
+func TestPlaceDistinctOptionsDistinctKeys(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	a := testBody(t, 1, RequestOptions{BudgetMs: 50, GPUs: 2})
+	b := testBody(t, 1, RequestOptions{BudgetMs: 50, GPUs: 4})
+	var keys [2]string
+	for i, body := range [][]byte{a, b} {
+		resp := post(t, ts.URL+"/v1/place", body)
+		data := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		var pr PlaceResponse
+		if err := json.Unmarshal(data, &pr); err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = pr.CacheKey
+		if keys[i] == "" {
+			t.Fatal("empty cache key")
+		}
+	}
+	if keys[0] == keys[1] {
+		t.Fatalf("same cache key %s for different GPU counts", keys[0])
+	}
+}
+
+func TestPlaceBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := map[string]string{
+		"malformed":     `{"graph": [`,
+		"unknown field": `{"graph": null, "bogus": 1}`,
+		"missing graph": `{"options": {}}`,
+		"trailing":      `{"options": {}} trailing`,
+		"empty body":    ``,
+		"bad options":   `{"graph":{"nodes":[{"id":0,"kind":"gpu","costNanos":10}],"edges":[]},"options":{"gpus":1}}`,
+	}
+	for name, body := range cases {
+		resp := post(t, ts.URL+"/v1/place", []byte(body))
+		data := readAll(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", name, resp.StatusCode, data)
+			continue
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(data, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body %q not ErrorResponse (%v)", name, data, err)
+		}
+	}
+}
+
+func TestPlaceTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 128})
+	resp := post(t, ts.URL+"/v1/place", testBody(t, 1, fastOptions()))
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body: status %d, want 413", resp.StatusCode)
+	}
+
+	_, ts = newTestServer(t, Config{MaxGraphNodes: 3})
+	resp = post(t, ts.URL+"/v1/place", testBody(t, 1, fastOptions()))
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize graph: status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestPlaceSaturated(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrentSolves: 1, QueueDepth: -1})
+	// Occupy the only solver slot so the request cannot run, with an
+	// empty queue so it cannot wait either.
+	s.admit.slots <- struct{}{}
+	defer func() { <-s.admit.slots }()
+
+	body := testBody(t, 1, RequestOptions{BudgetMs: 50, NoCache: true})
+	resp := post(t, ts.URL+"/v1/place", body)
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+func TestPlaceQueueTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrentSolves: 1, QueueDepth: 4})
+	s.admit.slots <- struct{}{}
+	defer func() { <-s.admit.slots }()
+
+	body := testBody(t, 1, RequestOptions{BudgetMs: 50, NoCache: true})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/place", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	resp, err := http.DefaultClient.Do(req.WithContext(ctx))
+	if err != nil {
+		// The client may give up before the server writes the 503; the
+		// server-side outcome is still what we want to check, but a
+		// transport error here is acceptable behavior too.
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("unexpected transport error: %v", err)
+		}
+		return
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+func TestDrainRejectsAndHealthTurns503(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp := post(t, ts.URL+"/v1/place", testBody(t, 1, fastOptions()))
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("place while draining: status %d, want 503", resp.StatusCode)
+	}
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := readAll(t, hr)
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: status %d, want 503", hr.StatusCode)
+	}
+	if !strings.Contains(string(data), "draining") {
+		t.Fatalf("healthz body %s does not report draining", data)
+	}
+}
+
+func TestDrainDeadlineCancelsSolves(t *testing.T) {
+	s := New(Config{})
+	// Simulate one stuck in-flight solve.
+	endSolve, err := s.beginSolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Drain(ctx) }()
+	// The hard stop cancels baseCtx; the "solve" observes it and exits.
+	go func() {
+		<-s.baseCtx.Done()
+		endSolve()
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("drain error %v, want deadline", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not return")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var h map[string]any
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatalf("healthz not JSON: %v (%s)", err, data)
+	}
+	if h["status"] != "ok" {
+		t.Fatalf("status %v, want ok", h["status"])
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Generate some traffic first.
+	post(t, ts.URL+"/v1/place", testBody(t, 1, fastOptions())).Body.Close()
+	post(t, ts.URL+"/v1/place", testBody(t, 1, fastOptions())).Body.Close()
+	post(t, ts.URL+"/v1/place", []byte("{")).Body.Close()
+
+	scrape := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics status %d", resp.StatusCode)
+		}
+		return string(readAll(t, resp))
+	}
+	text := scrape()
+	for _, want := range []string{
+		`pestod_requests_total{endpoint="place",outcome="ok"} 2`,
+		`pestod_requests_total{endpoint="place",outcome="bad_request"} 1`,
+		`pestod_cache_events_total{event="hit"} 1`,
+		`pestod_cache_events_total{event="miss"} 1`,
+		"pestod_plans_total{stage=",
+		"pestod_queue_depth 0",
+		"pestod_inflight_solves 0",
+		"pestod_cache_entries 1",
+		`pestod_solve_duration_seconds_bucket{le="+Inf"} 1`,
+		"pestod_solve_duration_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	// An idle server scrapes byte-identically.
+	if again := scrape(); again != text {
+		t.Fatalf("idle scrapes differ:\n%s\nvs\n%s", text, again)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := testBody(t, 1, fastOptions())
+	resp := post(t, ts.URL+"/v1/trace", body)
+	data := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	// The trace request shares the plan cache with /v1/place.
+	resp = post(t, ts.URL+"/v1/place", body)
+	readAll(t, resp)
+	if got := resp.Header.Get("X-Pesto-Cache"); got != "hit" {
+		t.Fatalf("place after trace X-Pesto-Cache = %q, want hit", got)
+	}
+}
+
+func TestWarmFromDir(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		g, err := gen.Generate(gen.Config{Family: gen.Chain, Seed: int64(i + 1), Nodes: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("g%d.json", i)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A non-graph file must abort the warm-up with an error.
+	s, ts := newTestServer(t, Config{DefaultBudget: 50 * time.Millisecond})
+	warmed, err := s.WarmFromDir(context.Background(), dir)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if warmed != 3 {
+		t.Fatalf("warmed %d, want 3", warmed)
+	}
+	if _, _, entries := s.CacheStats(); entries != 3 {
+		t.Fatalf("cache entries %d, want 3", entries)
+	}
+	// A request for a warmed graph hits immediately.
+	g, err := gen.Generate(gen.Config{Family: gen.Chain, Seed: 1, Nodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(PlaceRequest{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := post(t, ts.URL+"/v1/place", body)
+	readAll(t, resp)
+	if got := resp.Header.Get("X-Pesto-Cache"); got != "hit" {
+		t.Fatalf("warmed graph X-Pesto-Cache = %q, want hit", got)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "junk.json"), []byte("not a graph"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WarmFromDir(context.Background(), dir); err == nil {
+		t.Fatal("warm over junk succeeded")
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/place")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/place: status %d, want 405", resp.StatusCode)
+	}
+}

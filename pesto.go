@@ -42,6 +42,7 @@ import (
 	"pesto/internal/placement"
 	"pesto/internal/profile"
 	"pesto/internal/runtime"
+	"pesto/internal/service"
 	"pesto/internal/sim"
 	"pesto/internal/trace"
 	"pesto/internal/verify"
@@ -384,3 +385,30 @@ func ProfileCommunication(sys System, lt LinkType, seed int64) (CommModel, error
 	}
 	return prof.Model, nil
 }
+
+// Placement-as-a-service (the pestod daemon's embeddable core; see
+// DESIGN.md, "Serving model").
+type (
+	// ServiceConfig sizes the placement daemon: solver concurrency,
+	// wait-queue depth, plan-cache entries, solve budgets.
+	ServiceConfig = service.Config
+	// PlacementServer is the placement-as-a-service HTTP handler:
+	// content-addressed plan cache, admission control, /metrics.
+	// cmd/pestod wraps it in an http.Server.
+	PlacementServer = service.Server
+)
+
+// NewPlacementServer builds the placement daemon core. Mount it on any
+// http.Server and call Drain before exit.
+func NewPlacementServer(cfg ServiceConfig) *PlacementServer { return service.New(cfg) }
+
+// GraphFingerprint returns the canonical SHA-256 content address of a
+// graph: clone-stable, insensitive to node names and edge insertion
+// order, sensitive to every placement-relevant field. It keys the
+// daemon's plan cache.
+func GraphFingerprint(g *Graph) [32]byte { return g.Fingerprint() }
+
+// StageForDeadline maps a solve budget onto the degradation ladder's
+// entry rung: tight budgets start at the heuristic rung, generous ones
+// at the exact ILP.
+func StageForDeadline(budget time.Duration) Stage { return placement.StageForDeadline(budget) }

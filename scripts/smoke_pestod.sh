@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# smoke_pestod.sh — end-to-end smoke test of the pestod daemon:
+#   build, start, wait for /healthz, solve a graph (cache miss), repeat
+#   the identical request (cache hit, byte-identical body), reject a
+#   malformed body with 400, scrape /metrics, then SIGTERM and require
+#   a clean drain (exit 0).
+#
+# Usage: scripts/smoke_pestod.sh  (or: make smoke)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PORT="${PESTOD_PORT:-18351}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+PESTOD_PID=""
+
+cleanup() {
+    [ -n "$PESTOD_PID" ] && kill -9 "$PESTOD_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
+
+echo "smoke: building pestod"
+go build -o "$WORK/pestod" ./cmd/pestod
+
+echo "smoke: assembling request body"
+# Wrap the checked-in smoke graph into a /v1/place request.
+printf '{"graph": %s, "options": {"budgetMs": 500}}' \
+    "$(cat cmd/pestod/testdata/smoke_graph.json)" > "$WORK/req.json"
+
+echo "smoke: starting pestod on $BASE"
+"$WORK/pestod" -addr "127.0.0.1:$PORT" -solvers 2 -budget 2s > "$WORK/pestod.log" 2>&1 &
+PESTOD_PID=$!
+
+for i in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" > /dev/null 2>&1; then break; fi
+    kill -0 "$PESTOD_PID" 2>/dev/null || { cat "$WORK/pestod.log" >&2; fail "pestod exited during startup"; }
+    sleep 0.1
+done
+curl -fsS "$BASE/healthz" | grep -q '"status":"ok"' || fail "healthz not ok"
+
+echo "smoke: first solve (expect cache miss)"
+code=$(curl -sS -o "$WORK/resp1.json" -w '%{http_code}' -D "$WORK/h1" \
+    -H 'Content-Type: application/json' --data-binary @"$WORK/req.json" "$BASE/v1/place")
+[ "$code" = 200 ] || { cat "$WORK/resp1.json" >&2; fail "first solve status $code"; }
+grep -qi '^x-pesto-cache: miss' "$WORK/h1" || fail "first solve was not a miss"
+grep -q '"verified":true' "$WORK/resp1.json" || fail "plan not verified"
+
+echo "smoke: repeat solve (expect cache hit, byte-identical)"
+code=$(curl -sS -o "$WORK/resp2.json" -w '%{http_code}' -D "$WORK/h2" \
+    -H 'Content-Type: application/json' --data-binary @"$WORK/req.json" "$BASE/v1/place")
+[ "$code" = 200 ] || fail "repeat solve status $code"
+grep -qi '^x-pesto-cache: hit' "$WORK/h2" || fail "repeat solve was not a hit"
+cmp -s "$WORK/resp1.json" "$WORK/resp2.json" || fail "responses not byte-identical"
+
+echo "smoke: malformed body (expect 400)"
+code=$(curl -sS -o /dev/null -w '%{http_code}' \
+    -H 'Content-Type: application/json' --data-binary '{"graph": [' "$BASE/v1/place")
+[ "$code" = 400 ] || fail "malformed body status $code, want 400"
+
+echo "smoke: metrics scrape"
+curl -fsS "$BASE/metrics" > "$WORK/metrics.txt"
+grep -q 'pestod_requests_total{endpoint="place",outcome="ok"} 2' "$WORK/metrics.txt" || fail "request counter missing"
+grep -q 'pestod_cache_events_total{event="hit"} 1' "$WORK/metrics.txt" || fail "cache hit counter missing"
+grep -q 'pestod_solve_duration_seconds_count 1' "$WORK/metrics.txt" || fail "solve histogram missing"
+
+echo "smoke: SIGTERM drain"
+kill -TERM "$PESTOD_PID"
+drain_ok=0
+for i in $(seq 1 100); do
+    if ! kill -0 "$PESTOD_PID" 2>/dev/null; then drain_ok=1; break; fi
+    sleep 0.1
+done
+[ "$drain_ok" = 1 ] || fail "pestod did not exit after SIGTERM"
+wait "$PESTOD_PID" 2>/dev/null && status=0 || status=$?
+[ "$status" = 0 ] || { cat "$WORK/pestod.log" >&2; fail "pestod exit status $status, want 0"; }
+grep -q 'drained cleanly' "$WORK/pestod.log" || fail "no clean-drain log line"
+PESTOD_PID=""
+
+echo "smoke: PASS"
