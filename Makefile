@@ -6,7 +6,7 @@ GO ?= go
 # `make verify` runs the full population.
 SWEEP ?= 1000
 
-.PHONY: build test check bench fmt vet verify smoke
+.PHONY: build test check bench fmt vet verify smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,12 @@ verify:
 # cache-hit byte-identity, /metrics scrape, SIGTERM drain.
 smoke:
 	bash scripts/smoke_pestod.sh
+
+# End-to-end smoke test of the telemetry surfaces: X-Request-ID through
+# header, span dump, JSONL log and metrics; pprof; and the pesto CLI's
+# combined solver+execution Chrome trace.
+obs-smoke:
+	bash scripts/smoke_obs.sh
 
 fmt:
 	gofmt -w .

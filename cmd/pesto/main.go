@@ -9,6 +9,13 @@
 //	      [-coarsen 192] [-gpus 2] [-gpu-mem-gb 16]
 //	      [-fault-spec "seed=42;straggler:p=0.1;fail:2@5ms"] [-replan N]
 //	      [-timeline N] [-dot out.dot]
+//	      [-obs-trace out.json] [-obs-log telemetry.jsonl]
+//
+// -obs-trace writes one Chrome Trace Event file combining the solver's
+// span tree (ladder rungs, coarsening, branch and bound, refinement,
+// the incumbent/bound convergence tracks) with the simulated execution
+// timeline; open it in chrome://tracing or https://ui.perfetto.dev.
+// -obs-log streams the same telemetry as JSON lines ("-" = stderr).
 package main
 
 import (
@@ -16,7 +23,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"time"
 
 	"pesto"
@@ -47,6 +56,8 @@ func run(args []string) error {
 		gantt    = fs.Bool("gantt", false, "print a text Gantt chart of the step")
 		planOut  = fs.String("plan-out", "", "write the chosen plan as JSON to this file")
 		chromeTr = fs.String("chrome-trace", "", "write a Chrome Trace Event file for chrome://tracing")
+		obsTrace = fs.String("obs-trace", "", "write a combined solver+execution Chrome Trace Event file")
+		obsLog   = fs.String("obs-log", "", `stream solver telemetry as JSON lines to this file ("-" = stderr)`)
 		dotPath  = fs.String("dot", "", "write the model graph in DOT format to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,6 +75,35 @@ func run(args []string) error {
 		return err
 	}
 	sys := pesto.NewSystem(*gpus, *gpuMemGB<<30)
+
+	// Solver telemetry: a context-carried recorder feeding an in-memory
+	// sink (for -obs-trace) and/or a JSONL stream (-obs-log). Without
+	// either flag the context stays bare and the pipeline records
+	// nothing.
+	ctx := context.Background()
+	var rec *pesto.ObsRecorder
+	var obsSink *pesto.ObsMemorySink
+	if *obsTrace != "" || *obsLog != "" {
+		var sinks []pesto.ObsSink
+		if *obsTrace != "" {
+			obsSink = pesto.NewObsMemorySink()
+			sinks = append(sinks, obsSink)
+		}
+		if *obsLog != "" {
+			lw := io.Writer(os.Stderr)
+			if *obsLog != "-" {
+				lf, err := os.Create(*obsLog)
+				if err != nil {
+					return err
+				}
+				defer lf.Close()
+				lw = lf
+			}
+			sinks = append(sinks, pesto.NewObsJSONLSink(lw))
+		}
+		rec = pesto.NewObsRecorder(sinks...)
+		ctx = pesto.WithObsRecorder(ctx, rec)
+	}
 	fmt.Printf("model %s: %d operations, %d edges, %.1f GiB footprint\n",
 		*model, g.NumNodes(), g.NumEdges(), float64(g.TotalMemory())/(1<<30))
 
@@ -82,7 +122,7 @@ func run(args []string) error {
 	var plan pesto.Plan
 	switch *strategy {
 	case "pesto":
-		res, err := pesto.PlaceMultiGPU(context.Background(), g, sys, pesto.PlaceOptions{
+		res, err := pesto.PlaceMultiGPU(ctx, g, sys, pesto.PlaceOptions{
 			ILPTimeLimit:    *ilpTime,
 			ILPMaxNodes:     *ilpNodes,
 			CoarsenTarget:   *coarsen,
@@ -131,7 +171,7 @@ func run(args []string) error {
 	}
 
 	if *replan >= 0 {
-		rr, err := pesto.Replan(context.Background(), g, sys, plan, pesto.DeviceID(*replan), pesto.PlaceOptions{
+		rr, err := pesto.Replan(ctx, g, sys, plan, pesto.DeviceID(*replan), pesto.PlaceOptions{
 			ILPTimeLimit:  *ilpTime,
 			CoarsenTarget: *coarsen,
 			Parallel:      *parallel,
@@ -198,6 +238,33 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println("wrote", *chromeTr)
+	}
+	if rec != nil {
+		rec.FlushCounters()
+		counters := rec.Counters()
+		names := make([]string, 0, len(counters))
+		for name := range counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		if len(names) > 0 {
+			fmt.Print("solver counters:")
+			for _, name := range names {
+				fmt.Printf(" %s=%d", name, counters[name])
+			}
+			fmt.Println()
+		}
+	}
+	if *obsTrace != "" {
+		f, err := os.Create(*obsTrace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pesto.WriteChromeTraceObs(f, g, sys, plan, step, obsSink.Records()); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *obsTrace)
 	}
 	if *planOut != "" {
 		f, err := os.Create(*planOut)

@@ -8,13 +8,20 @@
 //	pestod [-addr :8080] [-solvers 2] [-queue 8] [-cache 256]
 //	       [-budget 10s] [-max-budget 60s] [-parallel N]
 //	       [-warm-dir graphs/] [-drain-timeout 30s]
+//	       [-obs-log telemetry.jsonl] [-span-history 64]
 //
 // Endpoints:
 //
 //	POST /v1/place   solve (or replay) a placement; body {"graph":…,"options":…}
 //	POST /v1/trace   same body; returns a Chrome Trace Event timeline
+//	GET  /v1/requests/{id}/spans   span dump of a recent request by X-Request-ID
 //	GET  /healthz    liveness + queue/cache gauges
 //	GET  /metrics    Prometheus text exposition
+//	GET  /debug/pprof/   Go runtime profiles (heap, CPU, goroutines, …)
+//
+// Every request carries an X-Request-ID (client-supplied or generated)
+// echoed on the response, stamped into each -obs-log line and keying
+// the retained span dump.
 //
 // SIGINT/SIGTERM drain gracefully: new solve requests get 503, in-flight
 // solves finish (up to -drain-timeout), then the process exits 0.
@@ -25,9 +32,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,9 +65,25 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", 0, "per-solve worker count (0 = GOMAXPROCS)")
 		warmDir  = fs.String("warm-dir", "", "directory of graph JSON files to pre-solve at startup")
 		drainTO  = fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight solves on shutdown")
+		obsLog   = fs.String("obs-log", "", `stream per-request telemetry as JSON lines to this file ("-" = stderr)`)
+		spanHist = fs.Int("span-history", 0, "recent requests to retain span dumps for (0 = default 64)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var logger *slog.Logger
+	if *obsLog != "" {
+		lw := io.Writer(os.Stderr)
+		if *obsLog != "-" {
+			lf, err := os.Create(*obsLog)
+			if err != nil {
+				return err
+			}
+			defer lf.Close()
+			lw = lf
+		}
+		logger = slog.New(slog.NewJSONHandler(lw, nil))
 	}
 
 	srv := service.New(service.Config{
@@ -67,6 +93,8 @@ func run(args []string) error {
 		DefaultBudget:       *budget,
 		MaxBudget:           *maxBud,
 		Parallel:            *parallel,
+		Logger:              logger,
+		SpanHistory:         *spanHist,
 	})
 
 	if *warmDir != "" {
@@ -82,8 +110,18 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The service handler plus the runtime's profiling endpoints.
+	// Registering pprof explicitly (not via the package's init side
+	// effect on http.DefaultServeMux) keeps the route set visible here.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	httpSrv := &http.Server{
-		Handler:           srv,
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)

@@ -18,6 +18,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"pesto/internal/obs"
 )
 
 // Pool is a bounded worker pool. The zero Pool and the nil Pool are
@@ -62,6 +64,12 @@ type Result[R any] struct {
 // cancelled (or its deadline passes), in which case unstarted tasks
 // are skipped and the context error is returned.
 func Run[R any](ctx context.Context, p *Pool, tasks []Task[R]) ([]Result[R], error) {
+	// Fan-out accounting: one batch per Run, one task per closure. The
+	// counters expose how much work the solver layers push through the
+	// pool; a nil recorder makes both calls free.
+	rec := obs.From(ctx)
+	rec.Add("engine.batches", 1)
+	rec.Add("engine.tasks", int64(len(tasks)))
 	out := make([]Result[R], len(tasks))
 	w := p.Workers()
 	if w > len(tasks) {

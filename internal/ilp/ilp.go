@@ -23,6 +23,7 @@ import (
 
 	"pesto/internal/engine"
 	"pesto/internal/lp"
+	"pesto/internal/obs"
 )
 
 // Problem is a 0-1 MILP: an LP plus a set of variables restricted to
@@ -157,6 +158,20 @@ func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
 	ctx, cancel := context.WithDeadline(ctx, deadline)
 	defer cancel()
 
+	// Telemetry: counters (ilp.nodes, ilp.incumbents, and through lpObs
+	// the lp.solves/lp.pivots of every relaxation) plus the
+	// incumbent-vs-lower-bound convergence series sampled once per
+	// batch. All of it is nil-safe no-ops without a recorder.
+	rec := obs.From(ctx)
+	var lpObs lp.Observer
+	if rec != nil {
+		lpObs = rec
+	}
+	newIncumbent := func(source string, objective float64) {
+		rec.Add("ilp.incumbents", 1)
+		rec.Point("ilp.incumbent", obs.String("source", source), obs.F64("objective", objective))
+	}
+
 	isBinary := make(map[int]bool, len(p.Binary))
 	for _, v := range p.Binary {
 		isBinary[v] = true
@@ -219,7 +234,7 @@ func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
 					return lpOutcome{}, fmt.Errorf("apply branch fix: %w", err)
 				}
 			}
-			rel, err := lp.SolveDeadline(sub, deadline)
+			rel, err := lp.SolveDeadlineObs(sub, deadline, lpObs)
 			return lpOutcome{rel: rel, err: err}, nil
 		})
 		if mapErr != nil {
@@ -232,6 +247,7 @@ func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
 			}
 			rel, err := out.Value.rel, out.Value.err
 			best.Nodes++
+			rec.Add("ilp.nodes", 1)
 			if err != nil {
 				if errors.Is(err, lp.ErrNoSolution) {
 					if rel.Status == lp.IterLimit {
@@ -268,6 +284,7 @@ func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
 					best.X = append([]float64(nil), hx...)
 					best.Objective = hobj
 					best.Status = FeasibleStatus
+					newIncumbent("heuristic", hobj)
 				}
 			}
 			// Rounding dive: a built-in primal heuristic that fixes
@@ -275,10 +292,11 @@ func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
 			// integral point falls out. Run at the root and
 			// periodically, and always while no incumbent exists.
 			if best.Nodes == 1 || best.Status == NoSolutionStatus || best.Nodes%16 == 0 {
-				if dx, dobj, ok := dive(p, nd.fixes, rel.X, deadline); ok && dobj < best.Objective {
+				if dx, dobj, ok := dive(p, nd.fixes, rel.X, deadline, lpObs); ok && dobj < best.Objective {
 					best.X = dx
 					best.Objective = dobj
 					best.Status = FeasibleStatus
+					newIncumbent("dive", dobj)
 				}
 			}
 			// Find most fractional binary.
@@ -297,6 +315,7 @@ func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
 					best.X = append([]float64(nil), rel.X...)
 					best.Objective = rel.Objective
 					best.Status = FeasibleStatus
+					newIncumbent("integral-leaf", rel.Objective)
 				}
 				continue
 			}
@@ -307,6 +326,26 @@ func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
 				}
 				fixes[branchVar] = val
 				open = append(open, node{fixes: fixes, bound: rel.Objective, depth: nd.depth + 1})
+			}
+		}
+		if rec != nil {
+			// One convergence sample per batch: the incumbent and the
+			// frontier's proven lower bound, comparable in time against
+			// the solver spans on the same recorder.
+			if best.Status != NoSolutionStatus {
+				rec.Sample("ilp.incumbent", best.Objective, obs.Int("nodes", int64(best.Nodes)))
+			}
+			fb := math.Inf(1)
+			for _, nd := range open {
+				if nd.bound < fb {
+					fb = nd.bound
+				}
+			}
+			if math.IsInf(fb, 1) || (rootSolved && fb < rootBound) {
+				fb = rootBound
+			}
+			if !math.IsInf(fb, 0) {
+				rec.Sample("ilp.bound", fb, obs.Int("nodes", int64(best.Nodes)))
 			}
 		}
 	}
@@ -370,7 +409,7 @@ func roundDir(x float64) float64 {
 // (and the least fractional quarter of the rest) to its rounded value
 // and re-solve, until the relaxation is integral or infeasible. Returns
 // an integral feasible point when one falls out.
-func dive(p Problem, baseFixes map[int]float64, relaxed []float64, deadline time.Time) ([]float64, float64, bool) {
+func dive(p Problem, baseFixes map[int]float64, relaxed []float64, deadline time.Time, lpObs lp.Observer) ([]float64, float64, bool) {
 	fixes := make(map[int]float64, len(p.Binary))
 	for k, v := range baseFixes {
 		fixes[k] = v
@@ -407,7 +446,7 @@ func dive(p Problem, baseFixes map[int]float64, relaxed []float64, deadline time
 		if len(fractional) == 0 {
 			// Integral: one final solve with everything fixed yields
 			// the continuous completion.
-			sol, err := lp.SolveDeadline(sub, deadline)
+			sol, err := lp.SolveDeadlineObs(sub, deadline, lpObs)
 			if err != nil {
 				return nil, 0, false
 			}
@@ -423,7 +462,7 @@ func dive(p Problem, baseFixes map[int]float64, relaxed []float64, deadline time
 				return nil, 0, false
 			}
 		}
-		sol, err := lp.SolveDeadline(sub, deadline)
+		sol, err := lp.SolveDeadlineObs(sub, deadline, lpObs)
 		if err != nil {
 			return nil, 0, false // dead end
 		}

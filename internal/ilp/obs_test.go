@@ -1,0 +1,90 @@
+package ilp
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"pesto/internal/lp"
+	"pesto/internal/obs"
+)
+
+// TestSolveTelemetry checks that a recorder on the context observes the
+// search: node and LP counters match the reported node count, and the
+// convergence series brackets the optimum (bound ≤ optimum ≤ incumbent
+// for a minimization).
+func TestSolveTelemetry(t *testing.T) {
+	pr := binaryProblem(3)
+	for i, c := range []float64{-10, -6, -4} {
+		_ = pr.LP.SetObjective(i, c)
+	}
+	_ = pr.LP.AddConstraint(lp.Constraint{Terms: []lp.Term{{Var: 0, Coef: 1}, {Var: 1, Coef: 1}, {Var: 2, Coef: 1}}, Rel: lp.LE, RHS: 2})
+
+	sink := obs.NewMemorySink()
+	rec := obs.NewRecorder(sink)
+	ctx := obs.Into(context.Background(), rec)
+	sol, err := Solve(ctx, pr, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if got := rec.Counter("ilp.nodes"); got != int64(sol.Nodes) {
+		t.Errorf("ilp.nodes counter = %d, want %d (sol.Nodes)", got, sol.Nodes)
+	}
+	if got := rec.Counter("lp.solves"); got < int64(sol.Nodes) {
+		t.Errorf("lp.solves = %d, want >= %d (one per node)", got, sol.Nodes)
+	}
+	if rec.Counter("lp.pivots") <= 0 {
+		t.Errorf("lp.pivots = %d, want > 0", rec.Counter("lp.pivots"))
+	}
+	if rec.Counter("ilp.incumbents") <= 0 {
+		t.Errorf("ilp.incumbents = %d, want > 0", rec.Counter("ilp.incumbents"))
+	}
+	var sawIncumbentSample, sawBoundSample bool
+	for _, r := range sink.Records() {
+		switch {
+		case r.Kind == obs.KindSample && r.Name == "ilp.incumbent":
+			sawIncumbentSample = true
+			if r.Value < sol.Objective-1e-9 {
+				t.Errorf("incumbent sample %g below final objective %g", r.Value, sol.Objective)
+			}
+		case r.Kind == obs.KindSample && r.Name == "ilp.bound":
+			sawBoundSample = true
+			if r.Value > sol.Objective+1e-6 {
+				t.Errorf("bound sample %g above optimum %g", r.Value, sol.Objective)
+			}
+		case r.Kind == obs.KindPoint && r.Name == "ilp.incumbent":
+			if math.IsInf(r.Value, 0) {
+				t.Errorf("incumbent point carries non-finite value")
+			}
+		}
+	}
+	if !sawIncumbentSample || !sawBoundSample {
+		t.Errorf("convergence series incomplete: incumbent=%v bound=%v", sawIncumbentSample, sawBoundSample)
+	}
+}
+
+// TestSolveNoRecorderUnchanged pins the no-recorder path to the same
+// result as the recorded path — telemetry must not perturb the search.
+func TestSolveNoRecorderUnchanged(t *testing.T) {
+	pr := binaryProblem(5)
+	for i, c := range []float64{-4, -2, -2, -1, -10} {
+		_ = pr.LP.SetObjective(i, c)
+	}
+	_ = pr.LP.AddConstraint(lp.Constraint{Terms: []lp.Term{
+		{Var: 0, Coef: 12}, {Var: 1, Coef: 2}, {Var: 2, Coef: 1}, {Var: 3, Coef: 1}, {Var: 4, Coef: 4},
+	}, Rel: lp.LE, RHS: 15})
+
+	plain, err := Solve(context.Background(), pr, Options{})
+	if err != nil {
+		t.Fatalf("plain Solve: %v", err)
+	}
+	ctx := obs.Into(context.Background(), obs.NewRecorder(obs.NewMemorySink()))
+	traced, err := Solve(ctx, pr, Options{})
+	if err != nil {
+		t.Fatalf("traced Solve: %v", err)
+	}
+	if plain.Objective != traced.Objective || plain.Nodes != traced.Nodes || plain.Status != traced.Status {
+		t.Errorf("telemetry perturbed search: plain={obj %g nodes %d %v} traced={obj %g nodes %d %v}",
+			plain.Objective, plain.Nodes, plain.Status, traced.Objective, traced.Nodes, traced.Status)
+	}
+}

@@ -191,11 +191,20 @@ const (
 	epsCost = 1e-9
 )
 
+// Observer receives named counter increments from the solver —
+// "lp.solves" once per solve and "lp.pivots" with the iteration count.
+// *obs.Recorder satisfies it; lp stays free of telemetry imports.
+// Implementations must be safe for concurrent use, since relaxations
+// solve in parallel across B&B batches.
+type Observer interface {
+	Add(name string, delta int64)
+}
+
 // Solve runs two-phase primal simplex and returns the optimal solution,
 // or a Solution whose Status explains why none exists (in which case the
 // error wraps ErrNoSolution).
 func Solve(p *Problem) (Solution, error) {
-	return SolveDeadline(p, time.Time{})
+	return SolveDeadlineObs(p, time.Time{}, nil)
 }
 
 // SolveDeadline is Solve with a wall-clock deadline; when the deadline
@@ -203,6 +212,18 @@ func Solve(p *Problem) (Solution, error) {
 // ErrNoSolution) so callers can treat it like any other unfinished
 // relaxation. A zero deadline means no limit.
 func SolveDeadline(p *Problem, deadline time.Time) (Solution, error) {
+	return SolveDeadlineObs(p, deadline, nil)
+}
+
+// SolveDeadlineObs is SolveDeadline reporting pivot counts to an
+// optional observer (nil disables reporting).
+func SolveDeadlineObs(p *Problem, deadline time.Time, o Observer) (sol Solution, err error) {
+	if o != nil {
+		defer func() {
+			o.Add("lp.solves", 1)
+			o.Add("lp.pivots", int64(sol.Iters))
+		}()
+	}
 	t, err := newTableau(p)
 	if err != nil {
 		return Solution{}, err
@@ -221,7 +242,7 @@ func SolveDeadline(p *Problem, deadline time.Time) (Solution, error) {
 	}
 	st, iters := t.run(false)
 	t.iters += iters
-	sol := Solution{Status: st, Iters: t.iters}
+	sol = Solution{Status: st, Iters: t.iters}
 	if st != Optimal {
 		return sol, fmt.Errorf("phase 2: %v: %w", st, ErrNoSolution)
 	}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzAttrEncode holds AppendAttrsJSON to its contract on arbitrary
+// input: never panic, always emit valid JSON, and when keys are unique
+// and values are well-formed UTF-8, survive a decode round trip.
+func FuzzAttrEncode(f *testing.F) {
+	f.Add("stage", "ilp-exact", "nodes", "12")
+	f.Add("", "", "", "")
+	f.Add("q\"uote", "back\\slash", "new\nline", "tab\tchar")
+	f.Add("\x00\x01\x02", "\x1f", "héllo", "世界")
+	f.Add("dup", "a", "dup", "b")
+	f.Add("bad\xff", "utf8\xc3", "\xed\xa0\x80", "ok")
+	f.Fuzz(func(t *testing.T, k1, v1, k2, v2 string) {
+		attrs := []Attr{{Key: k1, Value: v1}, {Key: k2, Value: v2}}
+		out := AppendAttrsJSON(nil, attrs)
+		if !json.Valid(out) {
+			t.Fatalf("invalid JSON for %q=%q %q=%q: %s", k1, v1, k2, v2, out)
+		}
+		var m map[string]string
+		if err := json.Unmarshal(out, &m); err != nil {
+			t.Fatalf("unmarshal failed: %v\n%s", err, out)
+		}
+		if k1 != k2 && utf8.ValidString(k1) && utf8.ValidString(v1) {
+			if got, ok := m[k1]; !ok {
+				t.Fatalf("key %q lost in %s", k1, out)
+			} else if utf8.ValidString(v1) && got != v1 {
+				t.Fatalf("value for %q = %q, want %q", k1, got, v1)
+			}
+		}
+		// Appending to a prefix must leave the prefix intact.
+		withPrefix := AppendAttrsJSON([]byte("xx"), attrs)
+		if string(withPrefix[:2]) != "xx" || string(withPrefix[2:]) != string(out) {
+			t.Fatalf("prefix not preserved: %s", withPrefix)
+		}
+	})
+}

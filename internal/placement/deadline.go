@@ -42,10 +42,13 @@ func StageForDeadline(budget time.Duration) Stage {
 
 // stagesFrom drops the ladder rungs above start, keeping at least the
 // last rung so every request gets some answer. Rungs are ordered by
-// their Stage value (StageILP < StageRefine < StageFallback).
-func stagesFrom(stages []stageDef, start Stage) []stageDef {
+// their Stage value (StageILP < StageRefine < StageFallback). The
+// dropped rungs come back as skipped, so Provenance.Stages can report
+// why they never ran.
+func stagesFrom(stages []stageDef, start Stage) (kept []stageDef, skipped []Stage) {
 	for len(stages) > 1 && stages[0].stage < start {
+		skipped = append(skipped, stages[0].stage)
 		stages = stages[1:]
 	}
-	return stages
+	return stages, skipped
 }

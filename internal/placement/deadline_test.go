@@ -32,18 +32,26 @@ func TestStageForDeadline(t *testing.T) {
 
 func TestStagesFrom(t *testing.T) {
 	full := []stageDef{{StageILP, nil}, {StageRefine, nil}, {StageFallback, nil}}
-	if got := stagesFrom(full, 0); len(got) != 3 {
-		t.Fatalf("StartStage zero: got %d stages, want 3", len(got))
+	if got, skipped := stagesFrom(full, 0); len(got) != 3 || len(skipped) != 0 {
+		t.Fatalf("StartStage zero: got %d stages (skipped %v), want 3 and none skipped", len(got), skipped)
 	}
-	if got := stagesFrom(full, StageRefine); len(got) != 2 || got[0].stage != StageRefine {
+	got, skipped := stagesFrom(full, StageRefine)
+	if len(got) != 2 || got[0].stage != StageRefine {
 		t.Fatalf("StartStage refine: got %v", got)
 	}
-	if got := stagesFrom(full, StageFallback); len(got) != 1 || got[0].stage != StageFallback {
+	if len(skipped) != 1 || skipped[0] != StageILP {
+		t.Fatalf("StartStage refine: skipped %v, want [ilp-exact]", skipped)
+	}
+	got, skipped = stagesFrom(full, StageFallback)
+	if len(got) != 1 || got[0].stage != StageFallback {
 		t.Fatalf("StartStage fallback: got %v", got)
 	}
+	if len(skipped) != 2 || skipped[0] != StageILP || skipped[1] != StageRefine {
+		t.Fatalf("StartStage fallback: skipped %v, want [ilp-exact warm-start+refine]", skipped)
+	}
 	// Past the last rung: keep the last rung rather than an empty ladder.
-	if got := stagesFrom(full, StageReplan); len(got) != 1 || got[0].stage != StageFallback {
-		t.Fatalf("StartStage past end: got %v", got)
+	if got, skipped := stagesFrom(full, StageReplan); len(got) != 1 || got[0].stage != StageFallback || len(skipped) != 2 {
+		t.Fatalf("StartStage past end: got %v skipped %v", got, skipped)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"pesto/internal/baselines"
 	"pesto/internal/graph"
 	"pesto/internal/ilp"
+	"pesto/internal/obs"
 	"pesto/internal/sim"
 )
 
@@ -25,6 +26,11 @@ var (
 	// ErrStagePanic marks a ladder stage that panicked; the panic is
 	// recovered into an error and the ladder moves on to the next rung.
 	ErrStagePanic = errors.New("placement stage panicked")
+	// ErrStageSkipped marks a ladder rung that never ran because
+	// Options.StartStage entered the ladder below it. StageReport.Err
+	// wraps it so per-stage reports distinguish "skipped by budget"
+	// from "tried and failed".
+	ErrStageSkipped = errors.New("placement stage skipped")
 )
 
 // Stage names one rung of the degradation ladder.
@@ -71,6 +77,18 @@ type StageAttempt struct {
 	Elapsed time.Duration
 }
 
+// StageReport summarizes one ladder rung's fate within a single Place
+// call: the wall time the rung consumed across all of its attempts and
+// the error that ended it. Err is nil for the rung that produced the
+// plan, wraps ErrStageSkipped for rungs Options.StartStage jumped
+// over (Duration zero), and otherwise carries the rung's final
+// failure.
+type StageReport struct {
+	Stage    Stage
+	Duration time.Duration
+	Err      error
+}
+
 // Provenance records how a plan was obtained: the rung that produced
 // it and every failed attempt before it. Callers use it to tell an
 // optimal plan from a degraded one.
@@ -82,6 +100,11 @@ type Provenance struct {
 	Degraded bool
 	// Attempts lists the failed attempts, in order.
 	Attempts []StageAttempt
+	// Stages reports every rung the ladder considered, in ladder
+	// order — skipped, failed and winning alike — with per-rung wall
+	// time. It answers "where did the milliseconds go" where Attempts
+	// answers "what went wrong".
+	Stages []StageReport
 }
 
 // Err returns nil for a non-degraded result, and otherwise an error
@@ -134,23 +157,30 @@ func Place(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*
 	if len(sys.GPUs()) != 2 {
 		return nil, fmt.Errorf("pesto: system has %d usable GPUs: %w", len(sys.GPUs()), ErrUnsupportedSystem)
 	}
+	ctx, span := obs.Start(ctx, "placement.place", obs.Int("graph-nodes", int64(g.NumNodes())))
 	var res *Result
 	var err error
 	if opts.DisableFallback {
 		res, err = placeILP(ctx, g, sys, opts)
 	} else {
-		res, err = runLadder(ctx, g, sys, opts, stagesFrom([]stageDef{
+		kept, skipped := stagesFrom([]stageDef{
 			{StageILP, placeILP},
 			{StageRefine, placeRefine},
 			{StageFallback, placeFallback},
-		}, opts.StartStage))
+		}, opts.StartStage)
+		res, err = runLadder(ctx, g, sys, opts, kept, skipped)
 	}
 	if err != nil {
+		span.End(obs.String("outcome", "error"), obs.String("error", err.Error()))
 		return nil, err
 	}
 	if verr := verifyResult(g, sys, res.Plan, opts); verr != nil {
+		span.End(obs.String("outcome", "verification-failed"), obs.String("error", verr.Error()))
 		return nil, verr
 	}
+	span.End(obs.String("outcome", "ok"),
+		obs.String("stage", res.Provenance.Stage.String()),
+		obs.Dur("makespan", res.SimulatedMakespan))
 	return res, nil
 }
 
@@ -159,26 +189,45 @@ func Place(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*
 // (floored so the cheap fallback rungs always get a chance) and a hard
 // backstop deadline at twice its nominal budget, which is what cuts a
 // stalled solver loose.
-func runLadder(ctx context.Context, g *graph.Graph, sys sim.System, opts Options, stages []stageDef) (*Result, error) {
+func runLadder(ctx context.Context, g *graph.Graph, sys sim.System, opts Options, stages []stageDef, skipped []Stage) (*Result, error) {
 	start := time.Now()
 	total := opts.ILPTimeLimit
+	rec := obs.From(ctx)
 	var attempts []StageAttempt
+	reports := make([]StageReport, 0, len(skipped)+len(stages))
+	for _, s := range skipped {
+		reports = append(reports, StageReport{
+			Stage: s,
+			Err:   fmt.Errorf("ladder entered at %v: %w", stages[0].stage, ErrStageSkipped),
+		})
+	}
 	for si, st := range stages {
 		budget := total - time.Since(start)
 		if budget < 50*time.Millisecond {
 			budget = 50 * time.Millisecond
 		}
+		stageStart := time.Now()
+		var lastErr error
 		for attempt := 1; attempt <= 1+opts.StageRetries; attempt++ {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("pesto: cancelled during %v: %w", st.stage, err)
 			}
 			attemptStart := time.Now()
-			res, err := runStageAttempt(ctx, g, sys, opts, st, budget)
+			actx, sp := obs.Start(ctx, "placement.stage",
+				obs.String("stage", st.stage.String()),
+				obs.Int("attempt", int64(attempt)),
+				obs.Dur("budget", budget))
+			res, err := runStageAttempt(actx, g, sys, opts, st, budget)
 			if err == nil {
-				res.Provenance = Provenance{Stage: st.stage, Degraded: si > 0, Attempts: attempts}
+				sp.End(obs.String("outcome", "ok"))
+				reports = append(reports, StageReport{Stage: st.stage, Duration: time.Since(stageStart)})
+				res.Provenance = Provenance{Stage: st.stage, Degraded: si > 0, Attempts: attempts, Stages: reports}
 				res.PlacementTime = time.Since(start)
 				return res, nil
 			}
+			sp.End(obs.String("outcome", "failed"), obs.String("error", err.Error()))
+			rec.Add("placement.stage.failures", 1)
+			lastErr = err
 			attempts = append(attempts, StageAttempt{
 				Stage: st.stage, Attempt: attempt, Err: err, Elapsed: time.Since(attemptStart),
 			})
@@ -193,8 +242,9 @@ func runLadder(ctx context.Context, g *graph.Graph, sys sim.System, opts Options
 				break
 			}
 		}
+		reports = append(reports, StageReport{Stage: st.stage, Duration: time.Since(stageStart), Err: lastErr})
 	}
-	p := Provenance{Degraded: true, Attempts: attempts}
+	p := Provenance{Degraded: true, Attempts: attempts, Stages: reports}
 	return nil, fmt.Errorf("pesto: every ladder stage failed (%w): %w", p.Err(), ErrNoPlacement)
 }
 

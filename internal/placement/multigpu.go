@@ -10,6 +10,7 @@ import (
 	"pesto/internal/engine"
 	"pesto/internal/graph"
 	"pesto/internal/ilp"
+	"pesto/internal/obs"
 	"pesto/internal/sim"
 )
 
@@ -31,23 +32,31 @@ func PlaceMultiGPU(ctx context.Context, g *graph.Graph, sys sim.System, opts Opt
 		return nil, fmt.Errorf("pesto: system has %d usable GPUs: %w", len(gpus), ErrUnsupportedSystem)
 	}
 	opts = opts.withDefaults()
+	ctx, span := obs.Start(ctx, "placement.place",
+		obs.Int("graph-nodes", int64(g.NumNodes())), obs.Int("gpus", int64(len(gpus))))
 	var res *Result
 	var err error
 	if opts.DisableFallback {
 		res, err = placeRefine(ctx, g, sys, opts)
 	} else {
 		// k > 2 has no exact rung; its ladder is refine → heuristics.
-		res, err = runLadder(ctx, g, sys, opts, stagesFrom([]stageDef{
+		kept, skipped := stagesFrom([]stageDef{
 			{StageRefine, placeRefine},
 			{StageFallback, placeFallback},
-		}, opts.StartStage))
+		}, opts.StartStage)
+		res, err = runLadder(ctx, g, sys, opts, kept, skipped)
 	}
 	if err != nil {
+		span.End(obs.String("outcome", "error"), obs.String("error", err.Error()))
 		return nil, err
 	}
 	if verr := verifyResult(g, sys, res.Plan, opts); verr != nil {
+		span.End(obs.String("outcome", "verification-failed"), obs.String("error", verr.Error()))
 		return nil, verr
 	}
+	span.End(obs.String("outcome", "ok"),
+		obs.String("stage", res.Provenance.Stage.String()),
+		obs.Dur("makespan", res.SimulatedMakespan))
 	return res, nil
 }
 
@@ -63,10 +72,14 @@ func placeRefine(ctx context.Context, g *graph.Graph, sys sim.System, opts Optio
 		return nil, fmt.Errorf("pesto: system has no usable GPUs: %w", ErrUnsupportedSystem)
 	}
 
+	rec := obs.From(ctx)
+	_, coarsenSpan := obs.Start(ctx, "placement.coarsen", obs.Int("target", int64(opts.CoarsenTarget)))
 	cres, err := coarsen.Coarsen(g, coarsen.Options{Target: opts.CoarsenTarget})
 	if err != nil {
+		coarsenSpan.End(obs.String("outcome", "error"))
 		return nil, fmt.Errorf("pesto coarsen: %w", err)
 	}
+	coarsenSpan.End(obs.Int("coarse-nodes", int64(cres.Coarse.NumNodes())))
 
 	pool := engine.New(opts.Parallel)
 	// The warm-start and refinement phases share the ILP's time budget;
@@ -83,16 +96,23 @@ func placeRefine(ctx context.Context, g *graph.Graph, sys sim.System, opts Optio
 		orig:    g,
 		cres:    cres,
 		pool:    pool,
+		rec:     rec,
 	}
 	// Seeds run on the caller's context so an exhausted time budget
 	// still yields an incumbent; only refinement is budget-bound.
+	_, seedSpan := obs.Start(ctx, "placement.seed")
 	h.seedAssignments(ctx)
 	h.seedListScheduling(ctx)
 	h.seedBaselines(ctx)
+	seedSpan.End(obs.F64("objective", h.bestObj))
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("pesto: cancelled during warm start: %w", err)
 	}
+	roundsBefore := rec.Counter("placement.refine.rounds")
+	_, refineSpan := obs.Start(ctx, "placement.refine")
 	h.refine(sctx)
+	refineSpan.End(obs.Int("rounds", rec.Counter("placement.refine.rounds")-roundsBefore),
+		obs.F64("objective", h.bestObj))
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("pesto: cancelled during refinement: %w", err)
 	}

@@ -13,6 +13,7 @@ import (
 	"pesto/internal/engine"
 	"pesto/internal/graph"
 	"pesto/internal/ilp"
+	"pesto/internal/obs"
 	"pesto/internal/sim"
 )
 
@@ -227,13 +228,17 @@ func placeILP(ctx context.Context, g *graph.Graph, sys sim.System, opts Options)
 	sctx, cancelSearch := context.WithDeadline(ctx, start.Add(opts.ILPTimeLimit))
 	defer cancelSearch()
 
+	rec := obs.From(ctx)
+
 	// Two coarsening granularities (both §3.3): a fine one preserving
 	// parallelism for the list-scheduling heuristics and refinement,
 	// and — when the fine graph is still too large for the exact
 	// branch and bound — a smaller one for the ILP, the way the paper
 	// coarsens to a CPLEX-tractable ~200 vertices.
+	_, coarsenSpan := obs.Start(ctx, "placement.coarsen", obs.Int("target", int64(opts.CoarsenTarget)))
 	cres, err := coarsen.Coarsen(g, coarsen.Options{Target: opts.CoarsenTarget})
 	if err != nil {
+		coarsenSpan.End(obs.String("outcome", "error"))
 		return nil, fmt.Errorf("pesto coarsen: %w", err)
 	}
 	cg := cres.Coarse
@@ -242,19 +247,24 @@ func placeILP(ctx context.Context, g *graph.Graph, sys sim.System, opts Options)
 	if cg.NumNodes() > opts.ILPMaxSize {
 		ilpCres, err = coarsen.Coarsen(g, coarsen.Options{Target: opts.ILPMaxSize})
 		if err != nil {
+			coarsenSpan.End(obs.String("outcome", "error"))
 			return nil, fmt.Errorf("pesto coarsen (ilp level): %w", err)
 		}
 	}
+	coarsenSpan.End(obs.Int("coarse-nodes", int64(cg.NumNodes())), obs.Int("ilp-nodes", int64(ilpCres.Coarse.NumNodes())))
+	_, modelSpan := obs.Start(ctx, "placement.model")
 	m, err := buildModel(ilpCres.Coarse, sys, opts)
 	if err != nil {
+		modelSpan.End(obs.String("outcome", "error"))
 		return nil, fmt.Errorf("pesto model: %w", err)
 	}
+	modelSpan.End(obs.Int("lp-vars", int64(m.lp.NumVars())), obs.Int("lp-constraints", int64(m.lp.NumConstraints())))
 
 	// Incumbent heuristic: round the relaxation's placement, repair
 	// memory, list-schedule the original graph, and report the realized
 	// makespan (a valid C_max upper bound: any valid schedule is a
 	// feasible ILP point, §3.2.2).
-	hILP := &heuristic{model: m, cg: ilpCres.Coarse, sys: sys, horizon: m.horizon, opts: opts, orig: g, cres: ilpCres, pool: pool}
+	hILP := &heuristic{model: m, cg: ilpCres.Coarse, sys: sys, horizon: m.horizon, opts: opts, orig: g, cres: ilpCres, pool: pool, rec: rec}
 	incumbent := hILP.tryIncumbent
 	if opts.ILPOnly {
 		incumbent = nil // pure branch and bound
@@ -267,12 +277,15 @@ func placeILP(ctx context.Context, g *graph.Graph, sys sim.System, opts Options)
 	if opts.ILPOnly {
 		ilpBudget = opts.ILPTimeLimit // no refinement phase to reserve for
 	}
-	sol, err := ilp.Solve(sctx, ilp.Problem{LP: m.lp, Binary: m.binary}, ilp.Options{
+	ictx, ilpSpan := obs.Start(sctx, "placement.ilp", obs.Dur("budget", ilpBudget))
+	sol, err := ilp.Solve(ictx, ilp.Problem{LP: m.lp, Binary: m.binary}, ilp.Options{
 		TimeLimit: ilpBudget,
 		MaxNodes:  opts.ILPMaxNodes,
 		Incumbent: incumbent,
 		Pool:      pool,
 	})
+	ilpSpan.End(obs.String("status", sol.Status.String()),
+		obs.Int("nodes", int64(sol.Nodes)), obs.F64("gap", sol.Gap))
 	if err != nil && !errors.Is(err, ilp.ErrInfeasible) {
 		return nil, fmt.Errorf("pesto ilp: %w", err)
 	}
@@ -297,14 +310,20 @@ func placeILP(ctx context.Context, g *graph.Graph, sys sim.System, opts Options)
 	// the warm starts are cheap and must produce an incumbent even when
 	// the branch and bound consumed the whole time budget. Only the
 	// open-ended refinement loop is cut off by the budget.
-	h := &heuristic{cg: cres.Coarse, sys: sys, horizon: m.horizon, opts: opts, orig: g, cres: cres, pool: pool}
+	h := &heuristic{cg: cres.Coarse, sys: sys, horizon: m.horizon, opts: opts, orig: g, cres: cres, pool: pool, rec: rec}
+	_, seedSpan := obs.Start(ctx, "placement.seed")
 	h.seedAssignments(ctx)
 	h.seedListScheduling(ctx)
 	h.seedBaselines(ctx)
 	if hILP.bestDev != nil {
 		h.adoptOriginal(hILP.bestDev)
 	}
+	seedSpan.End(obs.F64("objective", h.bestObj))
+	roundsBefore := rec.Counter("placement.refine.rounds")
+	_, refineSpan := obs.Start(ctx, "placement.refine")
 	h.refine(sctx)
+	refineSpan.End(obs.Int("rounds", rec.Counter("placement.refine.rounds")-roundsBefore),
+		obs.F64("objective", h.bestObj))
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("pesto: cancelled during refinement: %w", err)
 	}
@@ -392,6 +411,7 @@ func placeILP(ctx context.Context, g *graph.Graph, sys sim.System, opts Options)
 		mk   time.Duration
 		ok   bool
 	}
+	_, candSpan := obs.Start(ctx, "placement.candidates", obs.Int("variants", int64(len(variants))))
 	outs, mapErr := engine.Map(ctx, pool, len(variants), func(_ context.Context, i int) (variantOut, error) {
 		cand := variants[i].plan
 		if cand.Order == nil && opts.ScheduleFromILP {
@@ -414,6 +434,7 @@ func placeILP(ctx context.Context, g *graph.Graph, sys sim.System, opts Options)
 		}
 		return variantOut{plan: cand, mk: r.Makespan, ok: true}, nil
 	})
+	candSpan.End()
 	if mapErr != nil {
 		return nil, fmt.Errorf("pesto: cancelled during candidate evaluation: %w", mapErr)
 	}
@@ -585,6 +606,11 @@ type heuristic struct {
 	// submitting goroutine in submission order, so results are
 	// identical at any worker count.
 	pool *engine.Pool
+	// rec is the telemetry recorder cached off the context once at
+	// construction: scoreOriginal runs on worker goroutines in the
+	// hottest loop, where a context lookup per call would cost more
+	// than the counter itself. Nil disables recording.
+	rec *obs.Recorder
 
 	// Global winner at original granularity (any source: seeds, ILP
 	// roundings, list-scheduling warm starts, refinement moves).
@@ -874,6 +900,7 @@ func (h *heuristic) scoreOriginal(dev []sim.DeviceID) scored {
 	sys := h.simSystem()
 	out := scored{obj: math.Inf(1)}
 	for _, plan := range h.candidatePlans(dev) {
+		h.rec.Add("placement.sims", 1)
 		res, err := sim.Run(h.orig, sys, plan)
 		if err != nil {
 			continue
@@ -1050,6 +1077,7 @@ func (h *heuristic) refine(ctx context.Context) {
 		expanded []sim.DeviceID
 	}
 	for {
+		h.rec.Add("placement.refine.rounds", 1)
 		// Enumerate every single-move neighbour of the current best.
 		var cands []neighbour
 		for _, mv := range moves {

@@ -387,18 +387,21 @@ func TestAdmissionQueueHandoff(t *testing.T) {
 
 func TestMetricsHistogramBuckets(t *testing.T) {
 	m := newMetrics()
-	m.observeSolve(500 * time.Microsecond) // ≤ 0.001
-	m.observeSolve(40 * time.Millisecond)  // ≤ 0.1
-	m.observeSolve(2 * time.Minute)        // +Inf
+	m.observeSolve(500*time.Microsecond, "ilp-exact") // ≤ 0.001
+	m.observeSolve(40*time.Millisecond, "ilp-exact")  // ≤ 0.1
+	m.observeSolve(2*time.Minute, "ilp-exact")        // +Inf
+	m.observeSolve(time.Millisecond, "error")         // separate series
 	var buf bytes.Buffer
 	m.write(&buf)
 	text := buf.String()
 	for _, want := range []string{
-		`pestod_solve_duration_seconds_bucket{le="0.001"} 1`,
-		`pestod_solve_duration_seconds_bucket{le="0.1"} 2`,
-		`pestod_solve_duration_seconds_bucket{le="30"} 2`,
-		`pestod_solve_duration_seconds_bucket{le="+Inf"} 3`,
-		"pestod_solve_duration_seconds_count 3",
+		`pestod_solve_duration_seconds_bucket{stage="ilp-exact",le="0.001"} 1`,
+		`pestod_solve_duration_seconds_bucket{stage="ilp-exact",le="0.1"} 2`,
+		`pestod_solve_duration_seconds_bucket{stage="ilp-exact",le="30"} 2`,
+		`pestod_solve_duration_seconds_bucket{stage="ilp-exact",le="+Inf"} 3`,
+		`pestod_solve_duration_seconds_count{stage="ilp-exact"} 3`,
+		`pestod_solve_duration_seconds_bucket{stage="error",le="+Inf"} 1`,
+		`pestod_solve_duration_seconds_count{stage="error"} 1`,
 	} {
 		if !bytes.Contains(buf.Bytes(), []byte(want)) {
 			t.Errorf("missing %q in:\n%s", want, text)
@@ -417,7 +420,7 @@ func TestMetricsConcurrentScrape(t *testing.T) {
 				m.request("place", "ok")
 				m.cacheEvent("hit")
 				m.planServed(fmt.Sprintf("stage-%d", i%3))
-				m.observeSolve(time.Duration(j) * time.Millisecond)
+				m.observeSolve(time.Duration(j)*time.Millisecond, "ilp-exact")
 				if j%10 == 0 {
 					m.write(io.Discard)
 				}

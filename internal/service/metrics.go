@@ -28,10 +28,13 @@ type metrics struct {
 	// planStages[stage] counts served plans by degradation-ladder rung
 	// (provenance).
 	planStages map[string]int64
-	// Solve-latency histogram (cumulative buckets + sum + count).
-	solveBucketN [10]int64 // len(solveBuckets) + 1 for +Inf
-	solveSum     float64
-	solveCount   int64
+	// solveHist[stage] is the solve-latency histogram split by the
+	// ladder rung that served the plan ("error" for failed solves).
+	solveHist map[string]*solveHistogram
+	// Solver-progress totals harvested from per-request recorders.
+	bnbNodes   int64
+	lpPivots   int64
+	incumbents int64
 
 	// Gauges read live at scrape time.
 	queueDepth   func() int64
@@ -39,11 +42,19 @@ type metrics struct {
 	cacheEntries func() int64
 }
 
+// solveHistogram is one cumulative-bucket latency histogram.
+type solveHistogram struct {
+	bucketN [10]int64 // len(solveBuckets) + 1 for +Inf
+	sum     float64
+	count   int64
+}
+
 func newMetrics() *metrics {
 	return &metrics{
 		requests:    make(map[string]map[string]int64),
 		cacheEvents: make(map[string]int64),
 		planStages:  make(map[string]int64),
+		solveHist:   make(map[string]*solveHistogram),
 	}
 }
 
@@ -70,10 +81,15 @@ func (m *metrics) planServed(stage string) {
 	m.planStages[stage]++
 }
 
-func (m *metrics) observeSolve(d time.Duration) {
+func (m *metrics) observeSolve(d time.Duration, stage string) {
 	s := d.Seconds()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	h := m.solveHist[stage]
+	if h == nil {
+		h = &solveHistogram{}
+		m.solveHist[stage] = h
+	}
 	idx := len(solveBuckets) // +Inf
 	for i, ub := range solveBuckets {
 		if s <= ub {
@@ -81,9 +97,23 @@ func (m *metrics) observeSolve(d time.Duration) {
 			break
 		}
 	}
-	m.solveBucketN[idx]++
-	m.solveSum += s
-	m.solveCount++
+	h.bucketN[idx]++
+	h.sum += s
+	h.count++
+}
+
+// solverProgress folds one request's solver counters into the totals.
+// Zero deltas are the common case (cache hits, bad requests) and are
+// skipped without taking the lock.
+func (m *metrics) solverProgress(nodes, pivots, incumbents int64) {
+	if nodes == 0 && pivots == 0 && incumbents == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bnbNodes += nodes
+	m.lpPivots += pivots
+	m.incumbents += incumbents
 }
 
 // write emits the Prometheus text exposition.
@@ -122,17 +152,30 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE pestod_cache_entries gauge")
 	fmt.Fprintf(w, "pestod_cache_entries %d\n", gauge(m.cacheEntries))
 
-	fmt.Fprintln(w, "# HELP pestod_solve_duration_seconds Wall-clock latency of cache-miss solves.")
+	fmt.Fprintln(w, "# HELP pestod_solve_duration_seconds Wall-clock latency of cache-miss solves by degradation-ladder rung.")
 	fmt.Fprintln(w, "# TYPE pestod_solve_duration_seconds histogram")
-	cum := int64(0)
-	for i, ub := range solveBuckets {
-		cum += m.solveBucketN[i]
-		fmt.Fprintf(w, "pestod_solve_duration_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	for _, stage := range sortedKeys(m.solveHist) {
+		h := m.solveHist[stage]
+		cum := int64(0)
+		for i, ub := range solveBuckets {
+			cum += h.bucketN[i]
+			fmt.Fprintf(w, "pestod_solve_duration_seconds_bucket{stage=%q,le=%q} %d\n", stage, trimFloat(ub), cum)
+		}
+		cum += h.bucketN[len(solveBuckets)]
+		fmt.Fprintf(w, "pestod_solve_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", stage, cum)
+		fmt.Fprintf(w, "pestod_solve_duration_seconds_sum{stage=%q} %g\n", stage, h.sum)
+		fmt.Fprintf(w, "pestod_solve_duration_seconds_count{stage=%q} %d\n", stage, h.count)
 	}
-	cum += m.solveBucketN[len(solveBuckets)]
-	fmt.Fprintf(w, "pestod_solve_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "pestod_solve_duration_seconds_sum %g\n", m.solveSum)
-	fmt.Fprintf(w, "pestod_solve_duration_seconds_count %d\n", m.solveCount)
+
+	fmt.Fprintln(w, "# HELP pestod_bnb_nodes_total Branch-and-bound nodes expanded by solves.")
+	fmt.Fprintln(w, "# TYPE pestod_bnb_nodes_total counter")
+	fmt.Fprintf(w, "pestod_bnb_nodes_total %d\n", m.bnbNodes)
+	fmt.Fprintln(w, "# HELP pestod_lp_pivots_total Simplex pivots performed by solves.")
+	fmt.Fprintln(w, "# TYPE pestod_lp_pivots_total counter")
+	fmt.Fprintf(w, "pestod_lp_pivots_total %d\n", m.lpPivots)
+	fmt.Fprintln(w, "# HELP pestod_incumbent_improvements_total Branch-and-bound incumbent improvements found by solves.")
+	fmt.Fprintln(w, "# TYPE pestod_incumbent_improvements_total counter")
+	fmt.Fprintf(w, "pestod_incumbent_improvements_total %d\n", m.incumbents)
 }
 
 func gauge(f func() int64) int64 {

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"pesto/internal/obs"
+)
+
+// maxRequestIDLen caps client-supplied X-Request-ID values so a hostile
+// header cannot bloat logs or the span store.
+const maxRequestIDLen = 120
+
+// requestSinkLimit bounds the per-request memory sink. A full solve
+// emits tens of spans and a few hundred samples; 4096 leaves room for
+// large B&B runs without letting one request hold megabytes.
+const requestSinkLimit = 4096
+
+// requestID returns the client's X-Request-ID when it is usable —
+// printable ASCII, within length bounds — and otherwise generates one.
+// The ID is echoed on the response, stamped into every log line and
+// keys the span store, so one string follows a request through every
+// telemetry surface.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" || len(id) > maxRequestIDLen {
+		return newRequestID()
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return newRequestID()
+		}
+	}
+	return id
+}
+
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable in practice; a fixed ID
+		// keeps the request serviceable and is only a telemetry label.
+		return "rid-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// spanStore retains the telemetry records of the last N requests,
+// keyed by request ID, for GET /v1/requests/{id}/spans. It is a ring:
+// admitting request N+1 evicts the oldest. IDs are client-influenced,
+// so a repeated ID simply overwrites its previous entry.
+type spanStore struct {
+	mu    sync.Mutex
+	byID  map[string][]obs.Record
+	order []string
+	limit int
+}
+
+func newSpanStore(limit int) *spanStore {
+	if limit <= 0 {
+		limit = 64
+	}
+	return &spanStore{byID: make(map[string][]obs.Record), limit: limit}
+}
+
+func (st *spanStore) put(id string, recs []obs.Record) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.byID[id]; !ok {
+		for len(st.order) >= st.limit {
+			delete(st.byID, st.order[0])
+			st.order = st.order[1:]
+		}
+		st.order = append(st.order, id)
+	}
+	st.byID[id] = recs
+}
+
+func (st *spanStore) get(id string) ([]obs.Record, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	recs, ok := st.byID[id]
+	return recs, ok
+}
+
+// spanDumpRecord is the wire form of one telemetry record in the span
+// dump: kinds by name, durations in nanoseconds, attributes folded
+// into an object.
+type spanDumpRecord struct {
+	Kind   string            `json:"kind"`
+	Name   string            `json:"name"`
+	TsNs   int64             `json:"tsNs"`
+	DurNs  int64             `json:"durNs,omitempty"`
+	Span   uint64            `json:"span,omitempty"`
+	Parent uint64            `json:"parent,omitempty"`
+	Value  float64           `json:"value,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// handleSpans serves GET /v1/requests/{id}/spans: the retained
+// telemetry of one recent request — the span tree, counter flushes and
+// solver progress samples — as JSON. Unknown or evicted IDs are 404.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	recs, ok := s.spans.get(id)
+	if !ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(ErrorResponse{Error: "no spans retained for request id", RequestID: id})
+		return
+	}
+	out := struct {
+		RequestID string           `json:"requestId"`
+		Records   []spanDumpRecord `json:"records"`
+	}{RequestID: id, Records: make([]spanDumpRecord, 0, len(recs))}
+	for _, rec := range recs {
+		dr := spanDumpRecord{
+			Kind:   rec.Kind.String(),
+			Name:   rec.Name,
+			TsNs:   int64(rec.Ts),
+			DurNs:  int64(rec.Dur),
+			Span:   rec.ID,
+			Parent: rec.Parent,
+			Value:  rec.Value,
+		}
+		if len(rec.Attrs) > 0 {
+			dr.Attrs = make(map[string]string, len(rec.Attrs))
+			for _, a := range rec.Attrs {
+				dr.Attrs[a.Key] = a.Value
+			}
+		}
+		out.Records = append(out.Records, dr)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

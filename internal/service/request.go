@@ -199,9 +199,12 @@ type PlaceResponse struct {
 	Verified bool `json:"verified"`
 }
 
-// ErrorResponse is the JSON body of every non-2xx response.
+// ErrorResponse is the JSON body of every non-2xx response. RequestID
+// matches the X-Request-ID response header, so an error quoted by a
+// client can be correlated with server logs and span dumps.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"requestId,omitempty"`
 }
 
 // DecodePlaceRequest reads and validates one request body of at most

@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -42,6 +43,7 @@ import (
 	"time"
 
 	"pesto/internal/graph"
+	"pesto/internal/obs"
 	"pesto/internal/placement"
 	"pesto/internal/sim"
 	"pesto/internal/trace"
@@ -74,6 +76,13 @@ type Config struct {
 	MaxGraphNodes int
 	// RetryAfter is the hint returned with 429/503; zero means 1s.
 	RetryAfter time.Duration
+	// Logger, when set, receives one structured line per telemetry
+	// record (JSONL when backed by slog.NewJSONHandler) with the request
+	// ID on every line. Nil disables request logging.
+	Logger *slog.Logger
+	// SpanHistory bounds how many recent requests keep their span dumps
+	// for GET /v1/requests/{id}/spans; zero means 64.
+	SpanHistory int
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +126,7 @@ type Server struct {
 	admit *admission
 	met   *metrics
 	mux   *http.ServeMux
+	spans *spanStore
 
 	// baseCtx bounds detached cache-fill solves; cancel aborts them
 	// when a drain deadline expires (the hard stop).
@@ -156,6 +166,7 @@ func New(cfg Config) *Server {
 		admit: newAdmission(cfg.MaxConcurrentSolves, cfg.QueueDepth),
 		met:   newMetrics(),
 		mux:   http.NewServeMux(),
+		spans: newSpanStore(cfg.SpanHistory),
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.met.queueDepth = s.admit.queueLen
@@ -163,6 +174,7 @@ func New(cfg Config) *Server {
 	s.met.cacheEntries = func() int64 { return int64(s.cache.len()) }
 	s.mux.HandleFunc("POST /v1/place", s.handlePlace)
 	s.mux.HandleFunc("POST /v1/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/requests/{id}/spans", s.handleSpans)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -195,24 +207,58 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
+// beginTelemetry opens the request's telemetry scope: it resolves the
+// request ID (echoed on the response immediately, so error replies
+// carry it too), builds a per-request recorder over a bounded memory
+// sink plus the configured logger, and returns the context carrying
+// the recorder along with the finish hook that flushes counters,
+// retains the span dump for /v1/requests/{id}/spans, folds solver
+// progress into /metrics and emits the summary log line.
+func (s *Server) beginTelemetry(w http.ResponseWriter, r *http.Request, endpoint string) (ctx context.Context, rid string, finish func(outcome string)) {
+	rid = requestID(r)
+	w.Header().Set("X-Request-ID", rid)
+	sink := obs.NewBoundedMemorySink(requestSinkLimit)
+	sinks := []obs.Sink{sink}
+	var logger *slog.Logger
+	if s.cfg.Logger != nil {
+		logger = s.cfg.Logger.With("requestId", rid, "endpoint", endpoint)
+		sinks = append(sinks, obs.NewSlogSink(logger))
+	}
+	rec := obs.NewRecorder(sinks...)
+	start := time.Now()
+	finish = func(outcome string) {
+		rec.FlushCounters()
+		s.spans.put(rid, sink.Records())
+		s.met.solverProgress(rec.Counter("ilp.nodes"), rec.Counter("lp.pivots"), rec.Counter("ilp.incumbents"))
+		if logger != nil {
+			logger.LogAttrs(context.Background(), slog.LevelInfo, "request",
+				slog.String("outcome", outcome),
+				slog.Int64("durUs", time.Since(start).Microseconds()))
+		}
+	}
+	return obs.Into(r.Context(), rec), rid, finish
+}
+
 // handlePlace serves POST /v1/place: decode, normalize, answer from
 // the cache or solve once, and reply with the deterministic response
 // body. Cache status and solve wall-clock travel in headers
 // (X-Pesto-Cache, X-Pesto-Solve-Ms) so identical requests stay
 // byte-identical in the body.
 func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	ctx, rid, finish := s.beginTelemetry(w, r, "place")
 	if s.draining.Load() {
-		s.reject(w, "place", http.StatusServiceUnavailable, "draining", errors.New("server draining"))
+		s.reject(w, "place", rid, http.StatusServiceUnavailable, "draining", errors.New("server draining"))
+		finish("draining")
 		return
 	}
 	req, opts, err := s.decode(r)
 	if err != nil {
-		s.httpError(w, "place", err)
+		finish(s.httpError(w, "place", rid, err))
 		return
 	}
-	body, hit, err := s.respond(r.Context(), req, opts)
+	body, hit, err := s.respond(ctx, req, opts)
 	if err != nil {
-		s.httpError(w, "place", err)
+		finish(s.httpError(w, "place", rid, err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -220,6 +266,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 	s.met.request("place", "ok")
 	s.met.cacheEvent(cacheStatus(hit))
+	finish("ok")
 }
 
 // handleTrace serves POST /v1/trace: the same request body as
@@ -227,29 +274,31 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 // (chrome://tracing, Perfetto) of one simulated training step under
 // the plan the place path would return — same cache, same admission.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	ctx, rid, finish := s.beginTelemetry(w, r, "trace")
 	if s.draining.Load() {
-		s.reject(w, "trace", http.StatusServiceUnavailable, "draining", errors.New("server draining"))
+		s.reject(w, "trace", rid, http.StatusServiceUnavailable, "draining", errors.New("server draining"))
+		finish("draining")
 		return
 	}
 	req, opts, err := s.decode(r)
 	if err != nil {
-		s.httpError(w, "trace", err)
+		finish(s.httpError(w, "trace", rid, err))
 		return
 	}
-	body, hit, err := s.respond(r.Context(), req, opts)
+	body, hit, err := s.respond(ctx, req, opts)
 	if err != nil {
-		s.httpError(w, "trace", err)
+		finish(s.httpError(w, "trace", rid, err))
 		return
 	}
 	var resp PlaceResponse
 	if err := json.Unmarshal(body, &resp); err != nil {
-		s.httpError(w, "trace", fmt.Errorf("decode cached response: %w", err))
+		finish(s.httpError(w, "trace", rid, fmt.Errorf("decode cached response: %w", err)))
 		return
 	}
 	sys := opts.system()
 	step, err := sim.Run(req.Graph, sys, resp.Plan)
 	if err != nil {
-		s.httpError(w, "trace", fmt.Errorf("simulate for trace: %w", err))
+		finish(s.httpError(w, "trace", rid, fmt.Errorf("simulate for trace: %w", err)))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -258,10 +307,12 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if err := trace.WriteChromeTrace(w, req.Graph, sys, resp.Plan, step); err != nil {
 		// Headers are gone; nothing recoverable. Count it and move on.
 		s.met.request("trace", "error")
+		finish("error")
 		return
 	}
 	s.met.request("trace", "ok")
 	s.met.cacheEvent(cacheStatus(hit))
+	finish("ok")
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -319,6 +370,10 @@ func (s *Server) respond(ctx context.Context, req *PlaceRequest, opts RequestOpt
 		// still bound it.
 		fillCtx, cancel := context.WithTimeout(s.baseCtx, 2*opts.budget()+5*time.Second)
 		defer cancel()
+		// Detaching drops the request context's values too, so the
+		// leader's recorder is re-injected: the fill's spans and solver
+		// counters still land in the leader's telemetry.
+		fillCtx = obs.Into(fillCtx, obs.From(ctx))
 		return s.solve(fillCtx, req.Graph, fp, key, opts)
 	})
 }
@@ -340,10 +395,11 @@ func (s *Server) solve(ctx context.Context, g *graph.Graph, fp, key [32]byte, op
 	start := time.Now()
 	res, err := placement.PlaceMultiGPU(ctx, g, opts.system(), opts.placeOptions(s.cfg))
 	elapsed := time.Since(start)
-	s.met.observeSolve(elapsed)
 	if err != nil {
+		s.met.observeSolve(elapsed, "error")
 		return nil, err
 	}
+	s.met.observeSolve(elapsed, res.Provenance.Stage.String())
 	s.met.planServed(res.Provenance.Stage.String())
 
 	resp := PlaceResponse{
@@ -360,8 +416,9 @@ func (s *Server) solve(ctx context.Context, g *graph.Graph, fp, key [32]byte, op
 }
 
 // httpError maps an error onto its status code, emits the JSON error
-// body and records the outcome metric.
-func (s *Server) httpError(w http.ResponseWriter, endpoint string, err error) {
+// body and records the outcome metric. It returns the outcome label so
+// callers can close their telemetry scope with it.
+func (s *Server) httpError(w http.ResponseWriter, endpoint, rid string, err error) string {
 	var code int
 	var outcome string
 	switch {
@@ -386,17 +443,20 @@ func (s *Server) httpError(w http.ResponseWriter, endpoint string, err error) {
 	default:
 		code, outcome = http.StatusInternalServerError, "error"
 	}
-	s.reject(w, endpoint, code, outcome, err)
+	s.reject(w, endpoint, rid, code, outcome, err)
+	return outcome
 }
 
-// reject writes one JSON error response with overload hints.
-func (s *Server) reject(w http.ResponseWriter, endpoint string, code int, outcome string, err error) {
+// reject writes one JSON error response with overload hints. The
+// request ID rides in the body so clients quoting an error can be
+// correlated with logs and span dumps.
+func (s *Server) reject(w http.ResponseWriter, endpoint, rid string, code int, outcome string, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 	}
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), RequestID: rid})
 	s.met.request(endpoint, outcome)
 }
 

@@ -326,8 +326,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		"pestod_queue_depth 0",
 		"pestod_inflight_solves 0",
 		"pestod_cache_entries 1",
-		`pestod_solve_duration_seconds_bucket{le="+Inf"} 1`,
-		"pestod_solve_duration_seconds_count 1",
+		`pestod_solve_duration_seconds_bucket{stage="heuristic-fallback",le="+Inf"} 1`,
+		`pestod_solve_duration_seconds_count{stage="heuristic-fallback"} 1`,
+		"pestod_bnb_nodes_total",
+		"pestod_lp_pivots_total",
+		"pestod_incumbent_improvements_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)

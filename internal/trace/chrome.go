@@ -10,17 +10,21 @@ import (
 	"pesto/internal/sim"
 )
 
-// chromeEvent is one "complete" event (ph=X) in the Chrome Trace Event
-// format, loadable in chrome://tracing or Perfetto.
+// chromeEvent is one event in the Chrome Trace Event format, loadable
+// in chrome://tracing or Perfetto. Sim exports emit only "complete"
+// events (ph=X); the combined solver+execution export also uses
+// counters (ph=C, numeric args), instants (ph=i, with scope S) and
+// process-name metadata (ph=M).
 type chromeEvent struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat"`
-	Ph   string            `json:"ph"`
-	TsUs float64           `json:"ts"`
-	DUs  float64           `json:"dur"`
-	PID  int               `json:"pid"`
-	TID  int               `json:"tid"`
-	Args map[string]string `json:"args,omitempty"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TsUs float64        `json:"ts"`
+	DUs  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 type chromeFile struct {
@@ -33,6 +37,14 @@ type chromeFile struct {
 // link (transfers carry their queueing delay as an argument). Open the
 // output in chrome://tracing or https://ui.perfetto.dev.
 func WriteChromeTrace(w io.Writer, g *graph.Graph, sys sim.System, plan sim.Plan, res sim.Result) error {
+	out := simChromeFile(g, sys, plan, res)
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// simChromeFile builds the execution-timeline part of a trace: one
+// process per device and per directional link, complete events only.
+func simChromeFile(g *graph.Graph, sys sim.System, plan sim.Plan, res sim.Result) chromeFile {
 	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
 	out := chromeFile{Metadata: map[string]string{
 		"generator": "pesto simulator",
@@ -55,7 +67,7 @@ func WriteChromeTrace(w io.Writer, g *graph.Graph, sys sim.System, plan sim.Plan
 			DUs:  us(res.Finish[id] - res.Start[id]),
 			PID:  int(plan.Device[id]),
 			TID:  0,
-			Args: map[string]string{
+			Args: map[string]any{
 				"device": dev.Name,
 				"kind":   nd.Kind.String(),
 			},
@@ -71,13 +83,12 @@ func WriteChromeTrace(w io.Writer, g *graph.Graph, sys sim.System, plan sim.Plan
 			DUs:  us(tr.Finish - tr.Start),
 			PID:  1000 + int(tr.From)*64 + int(tr.To),
 			TID:  0,
-			Args: map[string]string{
+			Args: map[string]any{
 				"queued": tr.Queued().String(),
 				"from":   fmt.Sprint(tr.From),
 				"to":     fmt.Sprint(tr.To),
 			},
 		})
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return out
 }

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+
+	"pesto/internal/graph"
+	"pesto/internal/obs"
+	"pesto/internal/sim"
+)
+
+// solverPID is the Chrome-trace process id of the solver lanes. Device
+// lanes use raw device ids and link lanes 1000+, so 2000 keeps the
+// solver visually separate in Perfetto.
+const solverPID = 2000
+
+// WriteChromeTraceObs exports the simulated execution timeline together
+// with the solver's telemetry records on one shared clock: device and
+// link lanes as in WriteChromeTrace, plus a "solver" process whose
+// threads hold the span tree (ladder rungs, coarsening, branch and
+// bound, refinement), counter tracks for the sample series (the
+// incumbent-vs-bound convergence), and instant markers for point
+// events. Spans are packed greedily into threads so overlapping
+// (nested or concurrent) spans land on separate lines.
+func WriteChromeTraceObs(w io.Writer, g *graph.Graph, sys sim.System, plan sim.Plan, res sim.Result, recs []obs.Record) error {
+	out := simChromeFile(g, sys, plan, res)
+	appendSolverEvents(&out, recs)
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// appendSolverEvents converts obs records into solver-process events,
+// deterministically: spans sorted by start then id, then samples, then
+// points, each sorted by timestamp then name.
+func appendSolverEvents(out *chromeFile, recs []obs.Record) {
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	var spans, samples, points []obs.Record
+	for _, r := range recs {
+		switch r.Kind {
+		case obs.KindSpan:
+			spans = append(spans, r)
+		case obs.KindSample:
+			samples = append(samples, r)
+		case obs.KindPoint:
+			points = append(points, r)
+		}
+	}
+	if len(spans)+len(samples)+len(points) == 0 {
+		return
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name",
+		Cat:  "__metadata",
+		Ph:   "M",
+		PID:  solverPID,
+		Args: map[string]any{"name": "solver"},
+	})
+
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Ts != spans[j].Ts {
+			return spans[i].Ts < spans[j].Ts
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	// Greedy interval partitioning: each span takes the first thread
+	// whose previous span has ended. Nested spans therefore stack on
+	// successive lines, as chrome://tracing renders same-thread nesting
+	// only for strictly enclosed intervals.
+	var laneEnd []time.Duration
+	for _, sp := range spans {
+		lane := -1
+		for li, end := range laneEnd {
+			if end <= sp.Ts {
+				lane = li
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+		}
+		laneEnd[lane] = sp.Ts + sp.Dur
+		args := map[string]any{"span": sp.ID}
+		if sp.Parent != 0 {
+			args["parent"] = sp.Parent
+		}
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: sp.Name,
+			Cat:  "solver",
+			Ph:   "X",
+			TsUs: us(sp.Ts),
+			DUs:  us(sp.Dur),
+			PID:  solverPID,
+			TID:  lane,
+			Args: args,
+		})
+	}
+
+	sort.SliceStable(samples, func(i, j int) bool {
+		if samples[i].Ts != samples[j].Ts {
+			return samples[i].Ts < samples[j].Ts
+		}
+		return samples[i].Name < samples[j].Name
+	})
+	for _, s := range samples {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Name,
+			Cat:  "solver",
+			Ph:   "C",
+			TsUs: us(s.Ts),
+			PID:  solverPID,
+			TID:  0,
+			Args: map[string]any{"value": s.Value},
+		})
+	}
+
+	sort.SliceStable(points, func(i, j int) bool {
+		if points[i].Ts != points[j].Ts {
+			return points[i].Ts < points[j].Ts
+		}
+		return points[i].Name < points[j].Name
+	})
+	for _, p := range points {
+		args := make(map[string]any, len(p.Attrs))
+		for _, a := range p.Attrs {
+			args[a.Key] = a.Value
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: p.Name,
+			Cat:  "solver",
+			Ph:   "i",
+			TsUs: us(p.Ts),
+			PID:  solverPID,
+			TID:  0,
+			S:    "p",
+			Args: args,
+		})
+	}
+}

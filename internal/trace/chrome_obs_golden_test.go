@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"pesto/internal/obs"
+)
+
+// solverRecords is a synthetic but structurally faithful solver
+// telemetry set: a placement root span, two ladder rungs (the first
+// failed, the second won) with a nested ILP span, the incumbent/bound
+// convergence series, and an incumbent point event. Fixed offsets keep
+// the golden deterministic.
+func solverRecords() []obs.Record {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []obs.Record{
+		{Kind: obs.KindSpan, Name: "placement.ilp", Ts: ms(2), Dur: ms(5), ID: 3, Parent: 2,
+			Attrs: []obs.Attr{obs.String("status", "feasible"), obs.Int("nodes", 12)}},
+		{Kind: obs.KindSpan, Name: "placement.stage", Ts: ms(1), Dur: ms(7), ID: 2, Parent: 1,
+			Attrs: []obs.Attr{obs.String("stage", "ilp-exact"), obs.String("outcome", "failed")}},
+		{Kind: obs.KindSpan, Name: "placement.stage", Ts: ms(8), Dur: ms(3), ID: 4, Parent: 1,
+			Attrs: []obs.Attr{obs.String("stage", "warm-start+refine"), obs.String("outcome", "ok")}},
+		{Kind: obs.KindSpan, Name: "placement.place", Ts: ms(0), Dur: ms(12), ID: 1,
+			Attrs: []obs.Attr{obs.String("outcome", "ok")}},
+		{Kind: obs.KindSample, Name: "ilp.incumbent", Ts: ms(4), Value: 0.9},
+		{Kind: obs.KindSample, Name: "ilp.bound", Ts: ms(4), Value: 0.4},
+		{Kind: obs.KindSample, Name: "ilp.incumbent", Ts: ms(6), Value: 0.7},
+		{Kind: obs.KindSample, Name: "ilp.bound", Ts: ms(6), Value: 0.55},
+		{Kind: obs.KindPoint, Name: "ilp.incumbent", Ts: ms(6),
+			Attrs: []obs.Attr{obs.String("source", "dive")}},
+	}
+}
+
+// TestChromeTraceObsGolden pins the combined solver+execution export:
+// sim events and solver spans/counters/instants in one file on a
+// shared timeline. Regenerate with -update and review like code.
+func TestChromeTraceObsGolden(t *testing.T) {
+	g, sys, plan, res := scenario(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTraceObs(&buf, g, sys, plan, res, solverRecords()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace_obs.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("combined trace output changed; run with -update if intentional.\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+
+	var parsed chromeFile
+	if err := json.Unmarshal(want, &parsed); err != nil {
+		t.Fatalf("golden file not valid JSON: %v", err)
+	}
+	phCount := map[string]int{}
+	simEvents, solverSpans := 0, 0
+	for _, e := range parsed.TraceEvents {
+		phCount[e.Ph]++
+		switch {
+		case e.Ph == "X" && e.PID < solverPID:
+			simEvents++
+		case e.Ph == "X" && e.PID == solverPID:
+			solverSpans++
+		case e.Ph == "i" && e.S == "":
+			t.Fatalf("instant event without scope: %+v", e)
+		}
+		if e.TsUs < 0 || e.DUs < 0 {
+			t.Fatalf("negative time in event %+v", e)
+		}
+	}
+	if simEvents == 0 {
+		t.Fatal("no sim events in combined trace")
+	}
+	if solverSpans != 4 {
+		t.Fatalf("solver spans = %d, want 4", solverSpans)
+	}
+	if phCount["C"] != 4 || phCount["i"] != 1 || phCount["M"] != 1 {
+		t.Fatalf("event mix = %v, want 4 counters, 1 instant, 1 metadata", phCount)
+	}
+
+	// Solver spans must not overlap within one thread lane (the greedy
+	// packing invariant chrome://tracing relies on).
+	byTid := map[int][]chromeEvent{}
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "X" && e.PID == solverPID {
+			byTid[e.TID] = append(byTid[e.TID], e)
+		}
+	}
+	if len(byTid) < 2 {
+		t.Fatalf("nested spans share one lane: tids = %d, want >= 2", len(byTid))
+	}
+	for tid, evs := range byTid {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].TsUs < evs[j].TsUs })
+		for i := 1; i < len(evs); i++ {
+			if prevEnd := evs[i-1].TsUs + evs[i-1].DUs; evs[i].TsUs < prevEnd {
+				t.Fatalf("solver tid %d: %q at %vus overlaps %q ending %vus",
+					tid, evs[i].Name, evs[i].TsUs, evs[i-1].Name, prevEnd)
+			}
+		}
+	}
+
+	// Re-encoding the parsed structure must be stable, as for the sim
+	// golden.
+	var re bytes.Buffer
+	enc := json.NewEncoder(&re)
+	if err := enc.Encode(parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re.Bytes(), want) {
+		t.Fatal("golden file does not round-trip through chromeFile")
+	}
+}

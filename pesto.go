@@ -39,6 +39,7 @@ import (
 	"pesto/internal/gen"
 	"pesto/internal/graph"
 	"pesto/internal/models"
+	"pesto/internal/obs"
 	"pesto/internal/placement"
 	"pesto/internal/profile"
 	"pesto/internal/runtime"
@@ -298,6 +299,46 @@ func WriteGantt(w io.Writer, g *Graph, sys System, plan Plan, res StepResult) er
 // directional link.
 func WriteChromeTrace(w io.Writer, g *Graph, sys System, plan Plan, res StepResult) error {
 	return trace.WriteChromeTrace(w, g, sys, plan, res)
+}
+
+// Telemetry types, re-exported for the CLI and embedders (see
+// DESIGN.md, "Observability model"). A nil *ObsRecorder — and a
+// context without one — is a valid no-op everywhere.
+type (
+	// ObsRecorder collects spans, counters and samples from the solver
+	// pipeline; attach it to a context with WithObsRecorder.
+	ObsRecorder = obs.Recorder
+	// ObsRecord is one finished telemetry record.
+	ObsRecord = obs.Record
+	// ObsSink receives finished records.
+	ObsSink = obs.Sink
+	// ObsMemorySink buffers records in memory.
+	ObsMemorySink = obs.MemorySink
+)
+
+// NewObsRecorder builds a recorder fanning out to the given sinks.
+func NewObsRecorder(sinks ...ObsSink) *ObsRecorder { return obs.NewRecorder(sinks...) }
+
+// NewObsMemorySink buffers telemetry records in memory, for later
+// export with WriteChromeTraceObs.
+func NewObsMemorySink() *ObsMemorySink { return obs.NewMemorySink() }
+
+// NewObsJSONLSink streams every telemetry record as one JSON log line.
+func NewObsJSONLSink(w io.Writer) ObsSink { return obs.NewJSONLSink(w) }
+
+// WithObsRecorder attaches a recorder to the context; Place,
+// PlaceMultiGPU and Replan emit their telemetry to it.
+func WithObsRecorder(ctx context.Context, rec *ObsRecorder) context.Context {
+	return obs.Into(ctx, rec)
+}
+
+// WriteChromeTraceObs exports the simulated step and the solver's
+// telemetry records as one Chrome Trace Event file on a shared
+// timeline: the execution lanes of WriteChromeTrace plus a solver
+// process holding the span tree, the incumbent/bound counter tracks
+// and instant markers.
+func WriteChromeTraceObs(w io.Writer, g *Graph, sys System, plan Plan, res StepResult, recs []ObsRecord) error {
+	return trace.WriteChromeTraceObs(w, g, sys, plan, res, recs)
 }
 
 // NewMultiHostSystem builds a hierarchical topology: hosts × gpusPerHost

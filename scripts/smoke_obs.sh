@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# smoke_obs.sh — end-to-end smoke test of the telemetry surfaces:
+#   build pestod with -obs-log, send a traced request with a known
+#   X-Request-ID, and require the ID on the response header, in the
+#   span dump (/v1/requests/{id}/spans, which must contain the
+#   placement span tree), on every JSONL log line, in the rung-split
+#   /metrics histogram, and a reachable /debug/pprof/ index. Then run
+#   the pesto CLI with -obs-trace and require a combined Chrome Trace
+#   with both solver and execution events.
+#
+# Usage: scripts/smoke_obs.sh  (or: make obs-smoke)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PORT="${PESTOD_PORT:-18352}"
+BASE="http://127.0.0.1:$PORT"
+RID="smoke-obs-$$"
+WORK="$(mktemp -d)"
+PESTOD_PID=""
+
+cleanup() {
+    [ -n "$PESTOD_PID" ] && kill -9 "$PESTOD_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "obs-smoke: FAIL: $*" >&2; exit 1; }
+
+echo "obs-smoke: building pestod and pesto"
+go build -o "$WORK/pestod" ./cmd/pestod
+go build -o "$WORK/pesto" ./cmd/pesto
+
+echo "obs-smoke: assembling request body"
+printf '{"graph": %s, "options": {"budgetMs": 500}}' \
+    "$(cat cmd/pestod/testdata/smoke_graph.json)" > "$WORK/req.json"
+
+echo "obs-smoke: starting pestod on $BASE with -obs-log"
+"$WORK/pestod" -addr "127.0.0.1:$PORT" -solvers 2 -budget 2s \
+    -obs-log "$WORK/telemetry.jsonl" > "$WORK/pestod.log" 2>&1 &
+PESTOD_PID=$!
+
+for i in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" > /dev/null 2>&1; then break; fi
+    kill -0 "$PESTOD_PID" 2>/dev/null || { cat "$WORK/pestod.log" >&2; fail "pestod exited during startup"; }
+    sleep 0.1
+done
+
+echo "obs-smoke: traced solve with X-Request-ID: $RID"
+code=$(curl -sS -o "$WORK/resp.json" -w '%{http_code}' -D "$WORK/h1" \
+    -H 'Content-Type: application/json' -H "X-Request-ID: $RID" \
+    --data-binary @"$WORK/req.json" "$BASE/v1/place")
+[ "$code" = 200 ] || { cat "$WORK/resp.json" >&2; fail "solve status $code"; }
+grep -qi "^x-request-id: $RID" "$WORK/h1" || fail "X-Request-ID not echoed"
+
+echo "obs-smoke: span dump carries the request's solver spans"
+curl -fsS "$BASE/v1/requests/$RID/spans" > "$WORK/spans.json" || fail "span dump fetch"
+grep -q "\"requestId\":\"$RID\"" "$WORK/spans.json" || fail "span dump not keyed by request id"
+grep -q '"placement.place"' "$WORK/spans.json" || fail "span dump misses placement.place"
+grep -q '"placement.stage"' "$WORK/spans.json" || fail "span dump misses the ladder-rung span"
+
+echo "obs-smoke: every JSONL log line carries the request id"
+[ -s "$WORK/telemetry.jsonl" ] || fail "telemetry log empty"
+bad=$(grep -cv "\"requestId\":\"$RID\"" "$WORK/telemetry.jsonl" || true)
+[ "$bad" = 0 ] || { head -3 "$WORK/telemetry.jsonl" >&2; fail "$bad log lines without the request id"; }
+
+echo "obs-smoke: rung-split histogram and solver counters in /metrics"
+curl -fsS "$BASE/metrics" > "$WORK/metrics.txt"
+grep -q 'pestod_solve_duration_seconds_bucket{stage="warm-start+refine",le="+Inf"} 1' "$WORK/metrics.txt" \
+    || fail "rung-split solve histogram missing"
+grep -q 'pestod_bnb_nodes_total' "$WORK/metrics.txt" || fail "bnb nodes counter missing"
+grep -q 'pestod_lp_pivots_total' "$WORK/metrics.txt" || fail "lp pivots counter missing"
+grep -q 'pestod_incumbent_improvements_total' "$WORK/metrics.txt" || fail "incumbent counter missing"
+
+echo "obs-smoke: pprof index reachable"
+curl -fsS "$BASE/debug/pprof/" | grep -q 'goroutine' || fail "/debug/pprof/ not serving"
+
+kill -TERM "$PESTOD_PID"
+wait "$PESTOD_PID" 2>/dev/null || true
+PESTOD_PID=""
+
+echo "obs-smoke: pesto -obs-trace produces one combined Chrome Trace"
+"$WORK/pesto" -model RNNLM-2-2048 -ilp-time 2s -obs-trace "$WORK/combined.json" \
+    > "$WORK/pesto.out" 2>&1 || { cat "$WORK/pesto.out" >&2; fail "pesto -obs-trace run"; }
+grep -q '"placement.place"' "$WORK/combined.json" || fail "combined trace misses solver spans"
+grep -q '"cat":"op"' "$WORK/combined.json" || fail "combined trace misses execution events"
+grep -q '"ph":"C"' "$WORK/combined.json" || fail "combined trace misses counter tracks"
+grep -q 'solver counters:' "$WORK/pesto.out" || fail "CLI counter summary missing"
+
+echo "obs-smoke: PASS"

@@ -65,7 +65,7 @@ echo "smoke: metrics scrape"
 curl -fsS "$BASE/metrics" > "$WORK/metrics.txt"
 grep -q 'pestod_requests_total{endpoint="place",outcome="ok"} 2' "$WORK/metrics.txt" || fail "request counter missing"
 grep -q 'pestod_cache_events_total{event="hit"} 1' "$WORK/metrics.txt" || fail "cache hit counter missing"
-grep -q 'pestod_solve_duration_seconds_count 1' "$WORK/metrics.txt" || fail "solve histogram missing"
+grep -q 'pestod_solve_duration_seconds_count{stage="warm-start+refine"} 1' "$WORK/metrics.txt" || fail "solve histogram missing"
 
 echo "smoke: SIGTERM drain"
 kill -TERM "$PESTOD_PID"
