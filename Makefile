@@ -6,7 +6,7 @@ GO ?= go
 # `make verify` runs the full population.
 SWEEP ?= 1000
 
-.PHONY: build test check bench fmt vet verify smoke obs-smoke
+.PHONY: build test check bench bench-lp fmt vet verify smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,15 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x -timeout 2h
+
+# The LP-rung gate: times the revised-simplex cold solve of the exact
+# rung's root relaxation (BenchmarkLPRung in short mode skips the dense
+# reference) and fails if it regresses >2x over the committed
+# BENCH_lp.json snapshot. Regenerate the snapshot with
+# `go test -bench BenchmarkLPRung -benchtime 3x ./internal/placement/`.
+bench-lp:
+	PESTO_BENCH_LP=1 $(GO) test -short -run TestLPRungRegression \
+		-bench BenchmarkLPRung -benchtime 3x -count=1 -v ./internal/placement/
 
 # The differential verification sweep: $(SWEEP) seeded instances across
 # baselines, the placement ladder, replanning, both execution engines

@@ -141,7 +141,21 @@ type node struct {
 	fixes map[int]float64 // binary var -> 0 or 1
 	bound float64         // parent LP bound (priority)
 	depth int
+	// basis is the parent relaxation's optimal basis, used to warm-start
+	// this node's LP with dual simplex (only bounds changed, so the
+	// parent basis stays dual feasible). Siblings share the same
+	// immutable Basis; each solve copies what it needs, so the batch
+	// fan-out never mutates shared state. Nil (root, or memory guard)
+	// falls back to a cold solve.
+	basis *lp.Basis
 }
+
+// maxWarmFrontier bounds how many open nodes may carry a basis
+// snapshot. A Basis holds an m×m inverse, so an adversarial frontier
+// could otherwise pin unbounded memory; beyond the cap children solve
+// cold, which affects speed but not the search trajectory's
+// correctness.
+const maxWarmFrontier = 512
 
 // Solve runs branch and bound and returns the best solution found. The
 // context cancels the search early (the best incumbent so far is still
@@ -183,6 +197,9 @@ func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
 
 	best := Solution{Status: NoSolutionStatus, Objective: math.Inf(1), Bound: math.Inf(-1)}
 	lpStalled := false
+	// stalledBound is the weakest dual-feasible bound among dropped
+	// (deadline-truncated) subtrees; it caps the final proven Bound.
+	stalledBound := math.Inf(1)
 	// open is kept sorted by bound descending so we can pop the
 	// best-bound node from the tail cheaply.
 	open := []node{{fixes: map[int]float64{}, bound: math.Inf(-1)}}
@@ -234,7 +251,7 @@ func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
 					return lpOutcome{}, fmt.Errorf("apply branch fix: %w", err)
 				}
 			}
-			rel, err := lp.SolveDeadlineObs(sub, deadline, lpObs)
+			rel, err := lp.SolveWarmDeadlineObs(sub, batch[i].basis, deadline, lpObs)
 			return lpOutcome{rel: rel, err: err}, nil
 		})
 		if mapErr != nil {
@@ -248,14 +265,35 @@ func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
 			rel, err := out.Value.rel, out.Value.err
 			best.Nodes++
 			rec.Add("ilp.nodes", 1)
+			// Per-child pivot counts expose warm-start effectiveness in
+			// the B&B trajectory: warm-started children should need far
+			// fewer pivots than the cold root.
+			rec.Sample("ilp.child.pivots", float64(rel.Iters), obs.Int("node", int64(best.Nodes)))
 			if err != nil {
 				if errors.Is(err, lp.ErrNoSolution) {
 					if rel.Status == lp.IterLimit {
-						// The LP stalled; we cannot conclude anything
-						// about this subtree — drop it without calling
-						// it infeasible.
+						// The LP ran out of time or stalled. The subtree
+						// is dropped, but a truncated solve is no longer
+						// a total loss: a dual-feasible objective is a
+						// valid lower bound for the subtree (it caps the
+						// final Bound, or prunes outright), and a primal
+						// feasible iterate can still seed the caller's
+						// rounding heuristic.
 						lpStalled = true
 						rootSolved = true
+						if rel.DualFeasible && !math.IsInf(rel.Objective, 0) {
+							if !prunable(rel.Objective) && rel.Objective < stalledBound {
+								stalledBound = rel.Objective
+							}
+						}
+						if opts.Incumbent != nil && len(rel.X) > 0 {
+							if hx, hobj, ok := opts.Incumbent(rel.X); ok && hobj < best.Objective {
+								best.X = append([]float64(nil), hx...)
+								best.Objective = hobj
+								best.Status = FeasibleStatus
+								newIncumbent("stalled-relaxation", hobj)
+							}
+						}
 						continue
 					}
 					if !rootSolved && rel.Status == lp.Infeasible {
@@ -292,7 +330,7 @@ func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
 			// integral point falls out. Run at the root and
 			// periodically, and always while no incumbent exists.
 			if best.Nodes == 1 || best.Status == NoSolutionStatus || best.Nodes%16 == 0 {
-				if dx, dobj, ok := dive(p, nd.fixes, rel.X, deadline, lpObs); ok && dobj < best.Objective {
+				if dx, dobj, ok := dive(p, nd.fixes, rel.X, rel.Basis, deadline, lpObs); ok && dobj < best.Objective {
 					best.X = dx
 					best.Objective = dobj
 					best.Status = FeasibleStatus
@@ -319,13 +357,17 @@ func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
 				}
 				continue
 			}
+			childBasis := rel.Basis
+			if len(open) >= maxWarmFrontier {
+				childBasis = nil
+			}
 			for _, val := range [2]float64{roundDir(rel.X[branchVar]), 1 - roundDir(rel.X[branchVar])} {
 				fixes := make(map[int]float64, len(nd.fixes)+1)
 				for k, v := range nd.fixes {
 					fixes[k] = v
 				}
 				fixes[branchVar] = val
-				open = append(open, node{fixes: fixes, bound: rel.Objective, depth: nd.depth + 1})
+				open = append(open, node{fixes: fixes, bound: rel.Objective, depth: nd.depth + 1, basis: childBasis})
 			}
 		}
 		if rec != nil {
@@ -365,6 +407,11 @@ func Solve(ctx context.Context, p Problem, opts Options) (Solution, error) {
 	}
 	if math.IsInf(bound, 1) || (rootSolved && bound < rootBound) {
 		bound = rootBound
+	}
+	// Truncated subtrees were dropped, not explored; their dual bounds
+	// cap what the search actually proved.
+	if stalledBound < bound {
+		bound = stalledBound
 	}
 	// A truncated search can leave every open node with a bound above
 	// the incumbent (their subtrees would have been pruned, not
@@ -407,9 +454,11 @@ func roundDir(x float64) float64 {
 // dive is the rounding-dive primal heuristic: starting from a node's
 // fixes and its relaxation, repeatedly fix every near-integral binary
 // (and the least fractional quarter of the rest) to its rounded value
-// and re-solve, until the relaxation is integral or infeasible. Returns
-// an integral feasible point when one falls out.
-func dive(p Problem, baseFixes map[int]float64, relaxed []float64, deadline time.Time, lpObs lp.Observer) ([]float64, float64, bool) {
+// and re-solve, until the relaxation is integral or infeasible. Each
+// round only tightens bounds, so every re-solve warm-starts from the
+// previous round's basis. Returns an integral feasible point when one
+// falls out.
+func dive(p Problem, baseFixes map[int]float64, relaxed []float64, basis *lp.Basis, deadline time.Time, lpObs lp.Observer) ([]float64, float64, bool) {
 	fixes := make(map[int]float64, len(p.Binary))
 	for k, v := range baseFixes {
 		fixes[k] = v
@@ -446,7 +495,7 @@ func dive(p Problem, baseFixes map[int]float64, relaxed []float64, deadline time
 		if len(fractional) == 0 {
 			// Integral: one final solve with everything fixed yields
 			// the continuous completion.
-			sol, err := lp.SolveDeadlineObs(sub, deadline, lpObs)
+			sol, err := lp.SolveWarmDeadlineObs(sub, basis, deadline, lpObs)
 			if err != nil {
 				return nil, 0, false
 			}
@@ -462,11 +511,12 @@ func dive(p Problem, baseFixes map[int]float64, relaxed []float64, deadline time
 				return nil, 0, false
 			}
 		}
-		sol, err := lp.SolveDeadlineObs(sub, deadline, lpObs)
+		sol, err := lp.SolveWarmDeadlineObs(sub, basis, deadline, lpObs)
 		if err != nil {
 			return nil, 0, false // dead end
 		}
 		x = sol.X
+		basis = sol.Basis
 	}
 	return nil, 0, false
 }

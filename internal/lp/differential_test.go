@@ -1,0 +1,159 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomLP builds a seeded random instance for differential testing.
+// All variables get finite boxes so instances are never unbounded (the
+// unbounded path has its own directed tests); degenerate structure is
+// injected deliberately: duplicated rows, zero objective entries and
+// right-hand sides that make several bases optimal.
+func randomLP(rng *rand.Rand) *Problem {
+	n := 2 + rng.Intn(7)
+	m := 1 + rng.Intn(10)
+	p := NewProblem(n)
+	for v := 0; v < n; v++ {
+		// Zero objective on ~1/3 of the variables (degeneracy fuel).
+		if rng.Intn(3) > 0 {
+			_ = p.SetObjective(v, math.Round((rng.Float64()*8-4)*4)/4)
+		}
+		lo := 0.0
+		if rng.Intn(4) == 0 {
+			lo = -1 - rng.Float64()*2
+		}
+		_ = p.SetBounds(v, lo, lo+1+rng.Float64()*4)
+	}
+	rel := func() Rel { return Rel(1 + rng.Intn(3)) }
+	var prev Constraint
+	for i := 0; i < m; i++ {
+		if i > 0 && rng.Intn(5) == 0 {
+			// Exact duplicate of the previous row: a degenerate basis.
+			_ = p.AddConstraint(prev)
+			continue
+		}
+		nt := 1 + rng.Intn(n)
+		seen := make(map[int]bool, nt)
+		var terms []Term
+		for len(terms) < nt {
+			v := rng.Intn(n)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			terms = append(terms, Term{Var: v, Coef: math.Round((rng.Float64()*8 - 4))})
+		}
+		c := Constraint{Terms: terms, Rel: rel(), RHS: math.Round((rng.Float64()*12 - 4))}
+		_ = p.AddConstraint(c)
+		prev = c
+	}
+	return p
+}
+
+// TestDifferentialRevisedVsDense runs the revised simplex against the
+// dense-tableau reference on a seeded corpus, asserting the two agree
+// on feasibility and, when optimal, on the objective to 1e-6. The
+// corpus mixes feasible, degenerate and infeasible instances.
+func TestDifferentialRevisedVsDense(t *testing.T) {
+	const instances = 250
+	rng := rand.New(rand.NewSource(61))
+	feasible, infeasible := 0, 0
+	for i := 0; i < instances; i++ {
+		p := randomLP(rng)
+		rsol, _ := Solve(p)
+		dsol, _ := SolveDense(p)
+		switch dsol.Status {
+		case Optimal:
+			feasible++
+			if rsol.Status != Optimal {
+				t.Fatalf("instance %d: dense optimal (%g), revised %v", i, dsol.Objective, rsol.Status)
+			}
+			if math.Abs(rsol.Objective-dsol.Objective) > 1e-6 {
+				t.Fatalf("instance %d: objective mismatch: revised %.12g dense %.12g",
+					i, rsol.Objective, dsol.Objective)
+			}
+		case Infeasible:
+			infeasible++
+			if rsol.Status != Infeasible {
+				t.Fatalf("instance %d: dense infeasible, revised %v (obj %g)", i, rsol.Status, rsol.Objective)
+			}
+		default:
+			t.Fatalf("instance %d: dense reference returned %v", i, dsol.Status)
+		}
+	}
+	// The corpus must actually exercise both outcomes, or the test is
+	// weaker than it claims.
+	if feasible < 50 || infeasible < 20 {
+		t.Fatalf("corpus too lopsided: %d feasible, %d infeasible of %d", feasible, infeasible, instances)
+	}
+}
+
+// TestBealeCycling is Beale's classic degenerate LP, which cycles
+// forever under pure Dantzig pricing with naive tie-breaking. The
+// solver must terminate (stall detection hands pricing to Bland's
+// rule) at the known optimum of -1/20.
+func TestBealeCycling(t *testing.T) {
+	p := NewProblem(4)
+	_ = p.SetObjective(0, -0.75)
+	_ = p.SetObjective(1, 150)
+	_ = p.SetObjective(2, -0.02)
+	_ = p.SetObjective(3, 6)
+	_ = p.AddConstraint(Constraint{Terms: []Term{{0, 0.25}, {1, -60}, {2, -0.04}, {3, 9}}, Rel: LE, RHS: 0})
+	_ = p.AddConstraint(Constraint{Terms: []Term{{0, 0.5}, {1, -90}, {2, -0.02}, {3, 3}}, Rel: LE, RHS: 0})
+	_ = p.AddConstraint(Constraint{Terms: []Term{{2, 1}}, Rel: LE, RHS: 1})
+	for name, solve := range map[string]func(*Problem) (Solution, error){
+		"revised": Solve,
+		"dense":   SolveDense,
+	} {
+		sol, err := solve(p)
+		if err != nil || sol.Status != Optimal {
+			t.Fatalf("%s: status=%v err=%v, want optimal (anti-cycling failed?)", name, sol.Status, err)
+		}
+		if math.Abs(sol.Objective-(-0.05)) > 1e-6 {
+			t.Fatalf("%s: objective %g, want -0.05", name, sol.Objective)
+		}
+	}
+}
+
+// pivotCap mirrors the solver's own iteration budget; no random
+// instance may exceed it (termination safety net for the fuzzer).
+func pivotCap(p *Problem) int {
+	cap := 2000 + 50*(p.NumConstraints()+p.NumVars()+p.NumConstraints())
+	if cap > 60000 {
+		cap = 60000
+	}
+	return cap
+}
+
+// FuzzRevisedSimplex derives small LPs from fuzz bytes and checks the
+// revised solver terminates within its pivot cap and agrees with the
+// dense reference on feasibility and objective.
+func FuzzRevisedSimplex(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(7))
+	f.Add(int64(42))
+	f.Add(int64(-3))
+	f.Add(int64(1 << 40))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomLP(rng)
+		rsol, _ := Solve(p)
+		if rsol.Iters > pivotCap(p) {
+			t.Fatalf("seed %d: %d pivots exceeds cap %d", seed, rsol.Iters, pivotCap(p))
+		}
+		dsol, _ := SolveDense(p)
+		if dsol.Status == Optimal {
+			if rsol.Status != Optimal {
+				t.Fatalf("seed %d: dense optimal, revised %v", seed, rsol.Status)
+			}
+			if math.Abs(rsol.Objective-dsol.Objective) > 1e-6 {
+				t.Fatalf("seed %d: objectives diverge: revised %.12g dense %.12g", seed, rsol.Objective, dsol.Objective)
+			}
+		}
+		if dsol.Status == Infeasible && rsol.Status != Infeasible {
+			t.Fatalf("seed %d: dense infeasible, revised %v", seed, rsol.Status)
+		}
+	})
+}

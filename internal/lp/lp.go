@@ -1,21 +1,24 @@
-// Package lp implements a dense two-phase primal simplex solver for
-// linear programs. It is the substrate underneath internal/ilp, which
-// together replace the CPLEX dependency of the Pesto paper (§3.2.2 "by
-// solving this 0-1 integer programming using standard optimization
-// software like CPLEX").
+// Package lp implements simplex solvers for linear programs. It is the
+// substrate underneath internal/ilp, which together replace the CPLEX
+// dependency of the Pesto paper (§3.2.2 "by solving this 0-1 integer
+// programming using standard optimization software like CPLEX").
 //
-// The solver handles minimization problems over variables with finite
-// lower bounds and optional upper bounds, with ≤, ≥ and = constraints.
-// It is intentionally simple and robust rather than state of the art:
-// full-tableau simplex with Dantzig pricing and a Bland's-rule fallback
-// for anti-cycling. Problem sizes produced by Pesto's coarsened ILPs
-// (hundreds of rows and columns) are well within its reach.
+// The solver handles minimization problems over variables with bounds
+// (finite or infinite on either side) and ≤, ≥ and = constraints. The
+// default engine is a bounded-variable revised simplex with sparse
+// column storage and a product-form (eta-file) basis — Dantzig pricing
+// with a Bland's-rule anti-cycling fallback, periodic refactorization,
+// and warm starts from an exported Basis with a dual-simplex repair
+// loop (revised.go / revised_iter.go). The original dense two-phase
+// full-tableau solver is retained in tableau.go as the reference
+// implementation behind SolveDense and the differential tests.
 package lp
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 )
 
@@ -128,6 +131,13 @@ func (p *Problem) AddConstraint(c Constraint) error {
 	return nil
 }
 
+// ConstraintAt returns constraint i. The returned value shares its
+// Terms slice with the problem; callers must not mutate it.
+func (p *Problem) ConstraintAt(i int) Constraint { return p.cons[i] }
+
+// ObjectiveCoef returns the objective coefficient of variable v.
+func (p *Problem) ObjectiveCoef(v int) float64 { return p.obj[v] }
+
 // Clone returns a deep copy; the branch-and-bound layer clones the root
 // problem to apply branching bounds.
 func (p *Problem) Clone() *Problem {
@@ -180,6 +190,16 @@ type Solution struct {
 	X         []float64 // values of the structural variables
 	Objective float64
 	Iters     int
+	// Basis is the optimal basis, exported on Optimal solves by the
+	// revised solver so the next solve of a structurally identical
+	// problem (same constraints, possibly tighter bounds) can warm-start
+	// via SolveWarm. Nil from the dense reference solver.
+	Basis *Basis
+	// DualFeasible marks Objective as a valid lower bound on the true
+	// optimum even when Status is IterLimit — set when a warm-started
+	// dual-simplex solve ran out of time before regaining primal
+	// feasibility. Branch and bound uses it to keep truncated work.
+	DualFeasible bool
 }
 
 // ErrNoSolution is wrapped by Solve for infeasible/unbounded problems so
@@ -192,17 +212,30 @@ const (
 )
 
 // Observer receives named counter increments from the solver —
-// "lp.solves" once per solve and "lp.pivots" with the iteration count.
-// *obs.Recorder satisfies it; lp stays free of telemetry imports.
-// Implementations must be safe for concurrent use, since relaxations
-// solve in parallel across B&B batches.
+// "lp.solves" once per solve, "lp.pivots" with the iteration count,
+// "lp.pivots.dual" with the dual-simplex share, "lp.refactorizations"
+// with basis rebuilds, and "lp.warmstart.hits" / "lp.warmstart.misses"
+// from the SolveWarm* entry points. *obs.Recorder satisfies it; lp
+// stays free of telemetry imports. Implementations must be safe for
+// concurrent use, since relaxations solve in parallel across B&B
+// batches.
 type Observer interface {
 	Add(name string, delta int64)
 }
 
-// Solve runs two-phase primal simplex and returns the optimal solution,
-// or a Solution whose Status explains why none exists (in which case the
-// error wraps ErrNoSolution).
+// denseOnly forces every Solve* call through the dense reference
+// tableau; benchmarks flip it to A/B the two solvers on the full
+// placement pipeline.
+var denseOnly atomic.Bool
+
+// ForceDenseForTesting routes all Solve* calls through the dense
+// reference tableau while on. Test/bench only; not for production use.
+func ForceDenseForTesting(on bool) { denseOnly.Store(on) }
+
+// Solve minimizes the problem and returns the optimal solution, or a
+// Solution whose Status explains why none exists (in which case the
+// error wraps ErrNoSolution). The default engine is the revised simplex
+// in revised.go; the dense tableau remains available via SolveDense.
 func Solve(p *Problem) (Solution, error) {
 	return SolveDeadlineObs(p, time.Time{}, nil)
 }
@@ -210,14 +243,49 @@ func Solve(p *Problem) (Solution, error) {
 // SolveDeadline is Solve with a wall-clock deadline; when the deadline
 // passes mid-solve the result carries IterLimit status (wrapped in
 // ErrNoSolution) so callers can treat it like any other unfinished
-// relaxation. A zero deadline means no limit.
+// relaxation. The deadline is checked between pivots, and a phase-2
+// timeout still returns the best feasible iterate found so far. A zero
+// deadline means no limit.
 func SolveDeadline(p *Problem, deadline time.Time) (Solution, error) {
 	return SolveDeadlineObs(p, deadline, nil)
 }
 
-// SolveDeadlineObs is SolveDeadline reporting pivot counts to an
+// SolveDeadlineObs is SolveDeadline reporting solver counters to an
 // optional observer (nil disables reporting).
-func SolveDeadlineObs(p *Problem, deadline time.Time, o Observer) (sol Solution, err error) {
+func SolveDeadlineObs(p *Problem, deadline time.Time, o Observer) (Solution, error) {
+	if denseOnly.Load() {
+		return solveDenseObs(p, deadline, o)
+	}
+	return solveRevised(p, nil, false, deadline, o)
+}
+
+// SolveWarm is Solve warm-started from a prior basis (nil falls back to
+// a cold solve, counted as a warm-start miss).
+func SolveWarm(p *Problem, warm *Basis) (Solution, error) {
+	return SolveWarmDeadlineObs(p, warm, time.Time{}, nil)
+}
+
+// SolveWarmDeadlineObs re-solves a problem with the same constraint
+// structure as the solve that produced warm — typically after bounds
+// tightened (a branch-and-bound child). A basis that is still primal
+// feasible skips phase 1 entirely; one that is only dual feasible is
+// repaired by dual simplex; anything else falls back to a cold solve.
+// Hit/miss counters are reported to the observer either way.
+func SolveWarmDeadlineObs(p *Problem, warm *Basis, deadline time.Time, o Observer) (Solution, error) {
+	if denseOnly.Load() {
+		return solveDenseObs(p, deadline, o)
+	}
+	return solveRevised(p, warm, true, deadline, o)
+}
+
+// SolveDense runs the dense two-phase full-tableau reference solver.
+// It is retained for differential testing against the revised simplex.
+func SolveDense(p *Problem) (Solution, error) {
+	return solveDenseObs(p, time.Time{}, nil)
+}
+
+// solveDenseObs is the original dense-tableau driver.
+func solveDenseObs(p *Problem, deadline time.Time, o Observer) (sol Solution, err error) {
 	if o != nil {
 		defer func() {
 			o.Add("lp.solves", 1)

@@ -218,8 +218,9 @@ func (t *tableau) run(phase1 bool) (Status, int) {
 		}
 		// Entering column: most negative reduced cost (Dantzig), or
 		// Bland's rule once we suspect cycling or stalling.
+		useBland := iter >= maxIters/2 || stall >= stallBland
 		col := -1
-		if iter < maxIters/2 && stall < stallBland {
+		if !useBland {
 			best := -epsCost
 			for j := 0; j < rhsCol; j++ {
 				if !phase1 && j >= t.artStart {
@@ -244,17 +245,42 @@ func (t *tableau) run(phase1 bool) (Status, int) {
 		if col < 0 {
 			return Optimal, iter
 		}
-		// Ratio test.
+		// Ratio test. Entries below pivTol are ineligible: dividing a
+		// dense row by a near-zero pivot amplifies its rounding error
+		// into the whole tableau, and after hundreds of pivots the
+		// tableau system drifts measurably from the original problem
+		// (the skipped variable overshoots its bound by at most
+		// pivTol·step — far below feasTol). Near-tied ratios prefer the
+		// clearly larger pivot for the same reason, except under Bland's
+		// rule, whose anti-cycling proof needs the lowest basis index.
+		const pivTol = 1e-7
 		row := -1
 		bestRatio := math.Inf(1)
+		bestA := 0.0
 		for i := range t.rows {
 			a := t.rows[i][col]
-			if a > eps {
-				ratio := t.rows[i][rhsCol] / a
-				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (row < 0 || t.basis[i] < t.basis[row])) {
+			if a <= pivTol {
+				continue
+			}
+			ratio := t.rows[i][rhsCol] / a
+			if row < 0 || ratio < bestRatio-eps {
+				bestRatio, row, bestA = ratio, i, a
+				continue
+			}
+			if ratio >= bestRatio+eps {
+				continue
+			}
+			better := false
+			if useBland {
+				better = t.basis[i] < t.basis[row]
+			} else {
+				better = a > 4*bestA || (4*a > bestA && t.basis[i] < t.basis[row])
+			}
+			if better {
+				if ratio < bestRatio {
 					bestRatio = ratio
-					row = i
 				}
+				row, bestA = i, a
 			}
 		}
 		if row < 0 {
@@ -314,15 +340,18 @@ func (t *tableau) dropArtificials() {
 			keep = append(keep, i)
 			continue
 		}
-		pivoted := false
+		// Pivot on the largest-magnitude eligible entry: the artificial
+		// sits at level ~0, so any nonzero column works algebraically,
+		// but a near-zero pivot divides the row by it and injects its
+		// rounding error into the basis as real infeasibility.
+		jBest, aBest := -1, eps
 		for j := 0; j < t.artStart; j++ {
-			if math.Abs(t.rows[i][j]) > eps {
-				t.pivot(i, j)
-				pivoted = true
-				break
+			if a := math.Abs(t.rows[i][j]); a > aBest {
+				jBest, aBest = j, a
 			}
 		}
-		if pivoted {
+		if jBest >= 0 {
+			t.pivot(i, jBest)
 			keep = append(keep, i)
 		}
 		// else: redundant row; drop it below.

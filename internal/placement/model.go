@@ -48,12 +48,18 @@ type model struct {
 	comms []commVertex
 
 	// Variable indices.
-	sOp    []int // start time per graph node
-	sComm  []int // start time per comm vertex
-	cmax   int
-	xVar   []int // placement binary per node; -1 for non-GPU nodes
-	zVar   []int // z_k per comm vertex; -1 for CG/GC (always 1)
-	binary []int
+	sOp   []int // start time per graph node
+	sComm []int // start time per comm vertex
+	cmax  int
+	// xVar maps each node to its placement binary (-1 for non-GPU
+	// nodes). With the group-level model (the default), every GPU node
+	// in one colocation group shares a single variable, so distinct
+	// entries repeat; xGroups lists each distinct placement variable
+	// once, in allocation order — the model's "placement groups".
+	xVar    []int
+	xGroups []int
+	zVar    []int // z_k per comm vertex; -1 for CG/GC (always 1)
+	binary  []int
 
 	horizon time.Duration // normalization unit
 	lp      *lp.Problem
@@ -74,6 +80,15 @@ func buildModel(g *graph.Graph, sys sim.System, opts Options) (*model, error) {
 	// overrides (hierarchical topologies) are honored.
 	cpu := sys.CPUID()
 	nodes := g.Nodes()
+	// colocKey is the effective colocation key of a node under the
+	// group-level model; the PerOpModel ablation dissolves groups back
+	// into per-op variables (and per-edge comm vertices).
+	colocKey := func(i graph.NodeID) string {
+		if opts.PerOpModel {
+			return ""
+		}
+		return nodes[i].Coloc
+	}
 	for _, e := range g.Edges() {
 		fk := nodes[e.From].Kind
 		tk := nodes[e.To].Kind
@@ -81,6 +96,12 @@ func buildModel(g *graph.Graph, sys sim.System, opts Options) (*model, error) {
 		tGPU := tk == graph.KindGPU
 		switch {
 		case fGPU && tGPU:
+			if k := colocKey(e.From); k != "" && k == colocKey(e.To) {
+				// Colocated endpoints can never be split, so the edge
+				// carries no transfer and needs no comm vertex or z
+				// variable; the plain-precedence loop below covers it.
+				break
+			}
 			m.comms = append(m.comms, commVertex{
 				kind: commGG, from: e.From, to: e.To,
 				cost: sys.TransferTime(gpus[0], gpus[1], e.Bytes),
@@ -156,12 +177,30 @@ func buildModel(g *graph.Graph, sys sim.System, opts Options) (*model, error) {
 	m.cmax = alloc()
 	m.xVar = make([]int, n)
 	var gpuNodes []graph.NodeID
+	// Group-level placement variables: one binary per colocation group
+	// rather than per operation (SNIPPETS' QuickP formulation, composing
+	// with §3.3 coarsening). Ungrouped nodes — and every node under the
+	// PerOpModel ablation — get their own variable, so a graph without
+	// groups falls back to the per-op model exactly.
+	xOfGroup := make(map[string]int)
 	for i, nd := range nodes {
-		if nd.Kind == graph.KindGPU {
-			m.xVar[i] = alloc()
-			gpuNodes = append(gpuNodes, graph.NodeID(i))
-		} else {
+		if nd.Kind != graph.KindGPU {
 			m.xVar[i] = -1
+			continue
+		}
+		gpuNodes = append(gpuNodes, graph.NodeID(i))
+		grp := colocKey(graph.NodeID(i))
+		if grp != "" {
+			if v, ok := xOfGroup[grp]; ok {
+				m.xVar[i] = v
+				continue
+			}
+		}
+		v := alloc()
+		m.xVar[i] = v
+		m.xGroups = append(m.xGroups, v)
+		if grp != "" {
+			xOfGroup[grp] = v
 		}
 	}
 	m.zVar = make([]int, k)
@@ -263,17 +302,21 @@ func buildModel(g *graph.Graph, sys sim.System, opts Options) (*model, error) {
 		add([]lp.Term{{Var: z, Coef: 1}, {Var: xi, Coef: 1}, {Var: xj, Coef: 1}}, lp.LE, 2)
 	}
 
-	// Colocation: equal x within a group.
-	colocRep := make(map[string]graph.NodeID)
-	for _, id := range gpuNodes {
-		grp := nodes[id].Coloc
-		if grp == "" {
-			continue
-		}
-		if repID, ok := colocRep[grp]; ok {
-			add([]lp.Term{{Var: m.xVar[id], Coef: 1}, {Var: m.xVar[repID], Coef: -1}}, lp.EQ, 0)
-		} else {
-			colocRep[grp] = id
+	// Colocation: equal x within a group. Under the group-level model
+	// members already share one variable, so tying rows exist only for
+	// the PerOpModel ablation.
+	if opts.PerOpModel {
+		colocRep := make(map[string]graph.NodeID)
+		for _, id := range gpuNodes {
+			grp := nodes[id].Coloc
+			if grp == "" {
+				continue
+			}
+			if repID, ok := colocRep[grp]; ok {
+				add([]lp.Term{{Var: m.xVar[id], Coef: 1}, {Var: m.xVar[repID], Coef: -1}}, lp.EQ, 0)
+			} else {
+				colocRep[grp] = id
+			}
 		}
 	}
 
@@ -401,10 +444,17 @@ func buildModel(g *graph.Graph, sys sim.System, opts Options) (*model, error) {
 			// Coefficients are normalized by the total footprint so the
 			// memory rows share the [0,1] scale of the time rows (the
 			// dense simplex tableau needs comparable row magnitudes).
-			terms := make([]lp.Term, 0, len(gpuNodes))
+			// Footprints are accumulated per placement variable first:
+			// group members share one x, and one term per variable keeps
+			// the row free of duplicates.
+			memOf := make(map[int]int64, len(m.xGroups))
 			for _, id := range gpuNodes {
-				if mem := nodes[id].Memory; mem > 0 {
-					terms = append(terms, lp.Term{Var: m.xVar[id], Coef: float64(mem) / float64(total)})
+				memOf[m.xVar[id]] += nodes[id].Memory
+			}
+			terms := make([]lp.Term, 0, len(m.xGroups))
+			for _, x := range m.xGroups {
+				if mem := memOf[x]; mem > 0 {
+					terms = append(terms, lp.Term{Var: x, Coef: float64(mem) / float64(total)})
 				}
 			}
 			dev0, _ := sys.Device(gpus[0])
@@ -452,13 +502,13 @@ func buildModel(g *graph.Graph, sys sim.System, opts Options) (*model, error) {
 			return nil, err
 		}
 	}
-	for _, x := range m.xVar {
-		if x >= 0 {
-			if err := prob.SetBounds(x, 0, 1); err != nil {
-				return nil, err
-			}
-			m.binary = append(m.binary, x)
+	// xGroups holds each placement variable exactly once (group members
+	// share an xVar entry), so no dedupe pass is needed here.
+	for _, x := range m.xGroups {
+		if err := prob.SetBounds(x, 0, 1); err != nil {
+			return nil, err
 		}
+		m.binary = append(m.binary, x)
 	}
 	for _, z := range m.zVar {
 		if z >= 0 {

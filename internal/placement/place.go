@@ -124,6 +124,15 @@ type Options struct {
 	// exercises the ladder's panic recovery. It exists for fault
 	// injection in tests and resilience experiments.
 	StageHook func(Stage) error
+	// PerOpModel is an ablation that disables the group-level ILP
+	// model: every GPU operation gets its own placement binary and
+	// colocation is enforced with equality rows (the pre-group
+	// formulation), instead of one shared binary per colocation group.
+	// The group-level default shrinks rows, columns and the binary
+	// count before the solver runs; the ablation exists to measure
+	// that shrinkage and to cross-check the two formulations against
+	// each other.
+	PerOpModel bool
 	// Verify re-proves every returned plan against the independent
 	// invariant checker (internal/verify) — precedence, colocation,
 	// affinity, memory, link discipline and makespan accounting — and
@@ -178,6 +187,13 @@ type Result struct {
 	CoarsePlan sim.Plan
 	// CoarseSize is the number of coarse vertices the ILP solved over.
 	CoarseSize int
+	// LPVars, LPRows and LPGroups record the solved model's size: LP
+	// variables, constraint rows, and distinct placement binaries (one
+	// per colocation group under the group-level model, one per GPU op
+	// under Options.PerOpModel). They are provenance for "how big was
+	// the model the solver actually saw"; zero when the winning ladder
+	// rung never built an ILP.
+	LPVars, LPRows, LPGroups int
 	// ILPStatus, Gap and Nodes report the branch-and-bound outcome;
 	// Gap == 0 with OptimalStatus is the Theorem 3.1 regime.
 	ILPStatus ilp.Status
@@ -258,7 +274,8 @@ func placeILP(ctx context.Context, g *graph.Graph, sys sim.System, opts Options)
 		modelSpan.End(obs.String("outcome", "error"))
 		return nil, fmt.Errorf("pesto model: %w", err)
 	}
-	modelSpan.End(obs.Int("lp-vars", int64(m.lp.NumVars())), obs.Int("lp-constraints", int64(m.lp.NumConstraints())))
+	modelSpan.End(obs.Int("lp-vars", int64(m.lp.NumVars())), obs.Int("lp-constraints", int64(m.lp.NumConstraints())),
+		obs.Int("placement-groups", int64(len(m.xGroups))))
 
 	// Incumbent heuristic: round the relaxation's placement, repair
 	// memory, list-schedule the original graph, and report the realized
@@ -330,6 +347,9 @@ func placeILP(ctx context.Context, g *graph.Graph, sys sim.System, opts Options)
 
 	res := &Result{
 		CoarseSize:        cg.NumNodes(),
+		LPVars:            m.lp.NumVars(),
+		LPRows:            m.lp.NumConstraints(),
+		LPGroups:          len(m.xGroups),
 		ILPStatus:         sol.Status,
 		Gap:               sol.Gap,
 		Nodes:             sol.Nodes,
@@ -1309,6 +1329,9 @@ func finishILPOnly(g *graph.Graph, sys sim.System, m *model, cres *coarsen.Resul
 	}
 	res := &Result{
 		CoarseSize:        cres.Coarse.NumNodes(),
+		LPVars:            m.lp.NumVars(),
+		LPRows:            m.lp.NumConstraints(),
+		LPGroups:          len(m.xGroups),
 		ILPStatus:         sol.Status,
 		Gap:               sol.Gap,
 		Nodes:             sol.Nodes,

@@ -35,6 +35,9 @@ type metrics struct {
 	bnbNodes   int64
 	lpPivots   int64
 	incumbents int64
+	lpSolves   int64
+	warmHits   int64
+	warmMisses int64
 
 	// Gauges read live at scrape time.
 	queueDepth   func() int64
@@ -105,8 +108,8 @@ func (m *metrics) observeSolve(d time.Duration, stage string) {
 // solverProgress folds one request's solver counters into the totals.
 // Zero deltas are the common case (cache hits, bad requests) and are
 // skipped without taking the lock.
-func (m *metrics) solverProgress(nodes, pivots, incumbents int64) {
-	if nodes == 0 && pivots == 0 && incumbents == 0 {
+func (m *metrics) solverProgress(nodes, pivots, incumbents, solves, warmHits, warmMisses int64) {
+	if nodes == 0 && pivots == 0 && incumbents == 0 && solves == 0 && warmHits == 0 && warmMisses == 0 {
 		return
 	}
 	m.mu.Lock()
@@ -114,6 +117,9 @@ func (m *metrics) solverProgress(nodes, pivots, incumbents int64) {
 	m.bnbNodes += nodes
 	m.lpPivots += pivots
 	m.incumbents += incumbents
+	m.lpSolves += solves
+	m.warmHits += warmHits
+	m.warmMisses += warmMisses
 }
 
 // write emits the Prometheus text exposition.
@@ -173,6 +179,22 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintln(w, "# HELP pestod_lp_pivots_total Simplex pivots performed by solves.")
 	fmt.Fprintln(w, "# TYPE pestod_lp_pivots_total counter")
 	fmt.Fprintf(w, "pestod_lp_pivots_total %d\n", m.lpPivots)
+	fmt.Fprintln(w, "# HELP pestod_lp_solves_total LP relaxations solved (cold and warm-started).")
+	fmt.Fprintln(w, "# TYPE pestod_lp_solves_total counter")
+	fmt.Fprintf(w, "pestod_lp_solves_total %d\n", m.lpSolves)
+	fmt.Fprintln(w, "# HELP pestod_lp_warmstart_hits_total Warm-started LP solves where the imported basis drove the result.")
+	fmt.Fprintln(w, "# TYPE pestod_lp_warmstart_hits_total counter")
+	fmt.Fprintf(w, "pestod_lp_warmstart_hits_total %d\n", m.warmHits)
+	fmt.Fprintln(w, "# HELP pestod_lp_warmstart_misses_total Warm-start attempts that fell back to a cold solve.")
+	fmt.Fprintln(w, "# TYPE pestod_lp_warmstart_misses_total counter")
+	fmt.Fprintf(w, "pestod_lp_warmstart_misses_total %d\n", m.warmMisses)
+	fmt.Fprintln(w, "# HELP pestod_lp_pivots_per_solve Mean simplex pivots per LP solve since startup.")
+	fmt.Fprintln(w, "# TYPE pestod_lp_pivots_per_solve gauge")
+	pps := 0.0
+	if m.lpSolves > 0 {
+		pps = float64(m.lpPivots) / float64(m.lpSolves)
+	}
+	fmt.Fprintf(w, "pestod_lp_pivots_per_solve %g\n", pps)
 	fmt.Fprintln(w, "# HELP pestod_incumbent_improvements_total Branch-and-bound incumbent improvements found by solves.")
 	fmt.Fprintln(w, "# TYPE pestod_incumbent_improvements_total counter")
 	fmt.Fprintf(w, "pestod_incumbent_improvements_total %d\n", m.incumbents)

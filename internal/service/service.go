@@ -229,7 +229,8 @@ func (s *Server) beginTelemetry(w http.ResponseWriter, r *http.Request, endpoint
 	finish = func(outcome string) {
 		rec.FlushCounters()
 		s.spans.put(rid, sink.Records())
-		s.met.solverProgress(rec.Counter("ilp.nodes"), rec.Counter("lp.pivots"), rec.Counter("ilp.incumbents"))
+		s.met.solverProgress(rec.Counter("ilp.nodes"), rec.Counter("lp.pivots"), rec.Counter("ilp.incumbents"),
+			rec.Counter("lp.solves"), rec.Counter("lp.warmstart.hits"), rec.Counter("lp.warmstart.misses"))
 		if logger != nil {
 			logger.LogAttrs(context.Background(), slog.LevelInfo, "request",
 				slog.String("outcome", outcome),
