@@ -6,7 +6,7 @@ GO ?= go
 # `make verify` runs the full population.
 SWEEP ?= 1000
 
-.PHONY: build test check bench bench-lp fmt vet verify smoke obs-smoke
+.PHONY: build test check bench bench-lp fmt vet verify smoke obs-smoke fleet-smoke chaos bench-fleet
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,28 @@ smoke:
 # combined solver+execution Chrome trace.
 obs-smoke:
 	bash scripts/smoke_obs.sh
+
+# End-to-end smoke test of fleet mode: a 3-replica in-process fleet
+# (route/hit/batch-dedupe/metrics/drain) plus an HTTP-backend router
+# that survives a replica kill.
+fleet-smoke:
+	bash scripts/smoke_fleet.sh
+
+# The fleet chaos sweep: $(CHAOS) Zipf requests through a 3-replica
+# fleet while the fixed fault schedule kills, restarts and blinds
+# replicas. Asserts zero failed requests, oracle byte-identity and
+# hit-rate recovery; the test logs the spec/seed needed to replay a
+# failure.
+CHAOS ?= 10000
+chaos:
+	PESTO_CHAOS_REQUESTS=$(CHAOS) $(GO) test ./internal/fleet/ \
+		-run TestFleetChaosDeterministicZeroFailures -count=1 -v -timeout 20m
+
+# Regenerate the committed BENCH_fleet.json (100k-request chaos run
+# recording latency percentiles, throughput and hit-rate recovery).
+bench-fleet:
+	PESTO_BENCH_FLEET=1 $(GO) test ./internal/fleet/ \
+		-run TestFleetChaosBench -count=1 -v -timeout 30m
 
 fmt:
 	gofmt -w .

@@ -9,6 +9,7 @@
 //	       [-budget 10s] [-max-budget 60s] [-parallel N]
 //	       [-warm-dir graphs/] [-drain-timeout 30s]
 //	       [-obs-log telemetry.jsonl] [-span-history 64]
+//	       [-fleet N | -fleet-backends url1,url2,…]
 //
 // Endpoints:
 //
@@ -18,6 +19,14 @@
 //	GET  /healthz    liveness + queue/cache gauges
 //	GET  /metrics    Prometheus text exposition
 //	GET  /debug/pprof/   Go runtime profiles (heap, CPU, goroutines, …)
+//
+// Fleet mode puts the fingerprint-routed replica fleet in front of the
+// service: `-fleet N` runs N in-process replicas (each with its own
+// solver pool and plan cache) behind a consistent-hash router with
+// health probing, circuit breakers, retry/hedging, failover and
+// warm-sync; `-fleet-backends` routes to external pestod processes
+// over HTTP instead. The router serves /v1/place, /v1/trace,
+// /v1/place/batch, /healthz and /metrics.
 //
 // Every request carries an X-Request-ID (client-supplied or generated)
 // echoed on the response, stamped into each -obs-log line and keying
@@ -40,9 +49,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"pesto/internal/fleet"
 	"pesto/internal/service"
 )
 
@@ -67,6 +78,8 @@ func run(args []string) error {
 		drainTO  = fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight solves on shutdown")
 		obsLog   = fs.String("obs-log", "", `stream per-request telemetry as JSON lines to this file ("-" = stderr)`)
 		spanHist = fs.Int("span-history", 0, "recent requests to retain span dumps for (0 = default 64)")
+		fleetN   = fs.Int("fleet", 0, "run N in-process replicas behind the fingerprint router (0 = single server)")
+		fleetBk  = fs.String("fleet-backends", "", "comma-separated base URLs of external pestod replicas to route to")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,24 +99,98 @@ func run(args []string) error {
 		logger = slog.New(slog.NewJSONHandler(lw, nil))
 	}
 
-	srv := service.New(service.Config{
-		MaxConcurrentSolves: *solvers,
-		QueueDepth:          *queue,
-		CacheEntries:        *cache,
-		DefaultBudget:       *budget,
-		MaxBudget:           *maxBud,
-		Parallel:            *parallel,
-		Logger:              logger,
-		SpanHistory:         *spanHist,
-	})
-
-	if *warmDir != "" {
-		start := time.Now()
-		n, err := srv.WarmFromDir(context.Background(), *warmDir)
-		if err != nil {
-			return fmt.Errorf("warm-up from %s: %w", *warmDir, err)
+	newServer := func() (*service.Server, error) {
+		srv := service.New(service.Config{
+			MaxConcurrentSolves: *solvers,
+			QueueDepth:          *queue,
+			CacheEntries:        *cache,
+			DefaultBudget:       *budget,
+			MaxBudget:           *maxBud,
+			Parallel:            *parallel,
+			Logger:              logger,
+			SpanHistory:         *spanHist,
+		})
+		if *warmDir != "" {
+			start := time.Now()
+			n, err := srv.WarmFromDir(context.Background(), *warmDir)
+			if err != nil {
+				return nil, fmt.Errorf("warm-up from %s: %w", *warmDir, err)
+			}
+			log.Printf("warmed %d plans from %s in %v", n, *warmDir, time.Since(start).Round(time.Millisecond))
 		}
-		log.Printf("warmed %d plans from %s in %v", n, *warmDir, time.Since(start).Round(time.Millisecond))
+		return srv, nil
+	}
+
+	// Pick the serving topology: a single service, an in-process
+	// replica fleet behind the fingerprint router, or a router over
+	// external pestod processes.
+	var (
+		handler http.Handler
+		drain   func(context.Context) error
+		mode    string
+	)
+	proberCtx, stopProber := context.WithCancel(context.Background())
+	defer stopProber()
+	switch {
+	case *fleetBk != "":
+		if *fleetN != 0 {
+			return errors.New("-fleet and -fleet-backends are mutually exclusive")
+		}
+		var backends []fleet.Backend
+		for _, u := range strings.Split(*fleetBk, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			// The URL is the replica's ring identity: every router
+			// fronting the same backend list computes the same
+			// ownership, so caches shard consistently across routers.
+			backends = append(backends, fleet.NewHTTPBackend(u, u, nil))
+		}
+		if len(backends) == 0 {
+			return errors.New("-fleet-backends: no backend URLs")
+		}
+		rt, err := fleet.New(fleet.Config{}, backends...)
+		if err != nil {
+			return err
+		}
+		rt.Start(proberCtx)
+		handler = rt
+		drain = func(context.Context) error { return nil } // external replicas drain themselves
+		mode = fmt.Sprintf("fleet router over %d HTTP backends", len(backends))
+	case *fleetN > 0:
+		servers := make([]*service.Server, *fleetN)
+		backends := make([]fleet.Backend, *fleetN)
+		for i := range servers {
+			srv, err := newServer()
+			if err != nil {
+				return err
+			}
+			servers[i] = srv
+			backends[i] = fleet.NewHandlerBackend(fmt.Sprintf("r%d", i), srv)
+		}
+		rt, err := fleet.New(fleet.Config{}, backends...)
+		if err != nil {
+			return err
+		}
+		rt.Start(proberCtx)
+		handler = rt
+		drain = func(ctx context.Context) error {
+			var errs []error
+			for _, s := range servers {
+				errs = append(errs, s.Drain(ctx))
+			}
+			return errors.Join(errs...)
+		}
+		mode = fmt.Sprintf("fleet of %d in-process replicas", *fleetN)
+	default:
+		srv, err := newServer()
+		if err != nil {
+			return err
+		}
+		handler = srv
+		drain = srv.Drain
+		mode = "single server"
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -114,7 +201,7 @@ func run(args []string) error {
 	// Registering pprof explicitly (not via the package's init side
 	// effect on http.DefaultServeMux) keeps the route set visible here.
 	mux := http.NewServeMux()
-	mux.Handle("/", srv)
+	mux.Handle("/", handler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -126,8 +213,8 @@ func run(args []string) error {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	log.Printf("pestod listening on %s (solvers=%d queue=%d cache=%d budget=%v)",
-		ln.Addr(), *solvers, *queue, *cache, *budget)
+	log.Printf("pestod listening on %s (%s, solvers=%d queue=%d cache=%d budget=%v)",
+		ln.Addr(), mode, *solvers, *queue, *cache, *budget)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -142,7 +229,8 @@ func run(args []string) error {
 	defer cancel()
 	// Drain first: new solve requests 503 while in-flight solves finish,
 	// then stop accepting connections at all.
-	drainErr := srv.Drain(ctx)
+	stopProber()
+	drainErr := drain(ctx)
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}

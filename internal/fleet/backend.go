@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// ErrReplicaDown is the transport-level failure a dead replica
+// presents: connection refused, handler gone, chaos kill. The router
+// treats it as an immediate failover signal and a breaker failure.
+var ErrReplicaDown = errors.New("replica down")
+
+// Response is one replica's answer, transport-agnostic: the in-process
+// handler backend and the HTTP backend produce the same shape, so the
+// router, the chaos harness, and production serving share one code
+// path.
+type Response struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// Backend is one pestod replica as the router sees it.
+type Backend interface {
+	// ID names the replica: the ring hashes it, the fault injector
+	// targets it, metrics label it.
+	ID() string
+	// Do performs one request against the replica. A non-nil error is a
+	// transport failure (the replica never answered); HTTP-level errors
+	// come back as a Response with a non-2xx Status.
+	Do(ctx context.Context, method, path string, body []byte) (*Response, error)
+}
+
+// HandlerBackend adapts an in-process http.Handler — a
+// *service.Server — into a Backend. The chaos harness and single-binary
+// fleet mode (-fleet N) run whole clusters in one process through it.
+type HandlerBackend struct {
+	id string
+	h  http.Handler
+}
+
+// NewHandlerBackend wraps handler as replica id.
+func NewHandlerBackend(id string, handler http.Handler) *HandlerBackend {
+	return &HandlerBackend{id: id, h: handler}
+}
+
+// ID implements Backend.
+func (b *HandlerBackend) ID() string { return b.id }
+
+// Do implements Backend by invoking the handler directly.
+func (b *HandlerBackend) Do(ctx context.Context, method, path string, body []byte) (*Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, path, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("build request: %w", err)
+	}
+	if len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rw := &memResponse{header: make(http.Header), status: http.StatusOK}
+	b.h.ServeHTTP(rw, req)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Response{Status: rw.status, Header: rw.header, Body: rw.buf.Bytes()}, nil
+}
+
+// memResponse is the minimal in-memory http.ResponseWriter behind
+// HandlerBackend.
+type memResponse struct {
+	header http.Header
+	buf    bytes.Buffer
+	status int
+	wrote  bool
+}
+
+func (m *memResponse) Header() http.Header { return m.header }
+
+func (m *memResponse) WriteHeader(code int) {
+	if !m.wrote {
+		m.status = code
+		m.wrote = true
+	}
+}
+
+func (m *memResponse) Write(p []byte) (int, error) {
+	m.wrote = true
+	return m.buf.Write(p)
+}
+
+// HTTPBackend is a Backend over a real pestod at a base URL
+// ("http://host:port"). Production fleet routing (-fleet-backends)
+// uses it.
+type HTTPBackend struct {
+	id     string
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend wraps the pestod at base as replica id. A nil client
+// uses http.DefaultClient; callers wanting connection-level timeouts
+// pass their own.
+func NewHTTPBackend(id, base string, client *http.Client) *HTTPBackend {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPBackend{id: id, base: base, client: client}
+}
+
+// ID implements Backend.
+func (b *HTTPBackend) ID() string { return b.id }
+
+// Do implements Backend over HTTP. Transport failures wrap
+// ErrReplicaDown so the router's failover path doesn't depend on
+// net/http error taxonomy.
+func (b *HTTPBackend) Do(ctx context.Context, method, path string, body []byte) (*Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, b.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("build request: %w", err)
+	}
+	if len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("%w: %v", ErrReplicaDown, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: read body: %v", ErrReplicaDown, err)
+	}
+	return &Response{Status: resp.StatusCode, Header: resp.Header, Body: data}, nil
+}

@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states, exported as the pestod_fleet_breaker_state gauge
+// (closed=0, half-open=1, open=2 — higher is worse).
+const (
+	breakerClosed = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+// breakerConfig sizes one passive circuit breaker.
+type breakerConfig struct {
+	// window is the rolling observation window; counts reset when it
+	// elapses.
+	window time.Duration
+	// minSamples is the minimum observations in a window before the
+	// failure fraction is believed (a single failed request must not
+	// open a breaker).
+	minSamples int
+	// failFrac opens the breaker when failures/total reaches it.
+	failFrac float64
+	// cooldown is how long an open breaker blocks before letting one
+	// half-open probe through.
+	cooldown time.Duration
+}
+
+// breaker is a passive per-replica circuit breaker: it watches the
+// error rate of real traffic (the prober is the *active* side) and
+// sheds a replica that fails too much of its window, then re-admits it
+// through a single half-open trial request. Every method takes the
+// current time explicitly, so tests — and the virtual-clock chaos
+// harness — drive it without sleeping.
+type breaker struct {
+	mu          sync.Mutex
+	cfg         breakerConfig
+	state       int
+	fail, total int
+	windowStart time.Time
+	openedAt    time.Time
+	probing     bool
+}
+
+func newBreaker(cfg breakerConfig) *breaker { return &breaker{cfg: cfg} }
+
+// allow reports whether a request may be sent through this breaker at
+// time now. In the open state it returns false until cooldown passes,
+// then transitions to half-open and admits exactly one probe; further
+// requests wait for that probe's verdict.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cfg.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// record feeds one request outcome observed at time now. ok means the
+// replica answered coherently — transport success and no 5xx (an
+// admission-control 429 is a healthy replica saying "later", not a
+// failure).
+func (b *breaker) record(now time.Time, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+		if ok {
+			b.state = breakerClosed
+			b.fail, b.total = 0, 0
+			b.windowStart = now
+		} else {
+			b.state = breakerOpen
+			b.openedAt = now
+		}
+		return
+	}
+	if b.state == breakerOpen {
+		return
+	}
+	if b.windowStart.IsZero() || now.Sub(b.windowStart) >= b.cfg.window {
+		b.fail, b.total = 0, 0
+		b.windowStart = now
+	}
+	b.total++
+	if !ok {
+		b.fail++
+	}
+	if b.total >= b.cfg.minSamples && float64(b.fail) >= b.cfg.failFrac*float64(b.total) {
+		b.state = breakerOpen
+		b.openedAt = now
+	}
+}
+
+// current reports the state for metrics and health output.
+func (b *breaker) current() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// breakerStateName renders a state for the health endpoint.
+func breakerStateName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -1,0 +1,298 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pesto/internal/fault"
+	"pesto/internal/gen"
+	"pesto/internal/service"
+)
+
+// The chaos schedule: two replica kills with restarts (r1 and r2 each
+// die for 10 virtual seconds) plus a probe blackhole on r0 (detection
+// says down, traffic says fine). Everything is a pure function of
+// (chaosSpec, chaosSeed, request count) — a CI failure replays exactly
+// from the values it prints.
+const (
+	chaosSpec = "rkill:r1@10s,restart=10s;rkill:r2@35s,restart=10s;probehole:r0@20s,dur=5s"
+	chaosSeed = 20260807
+	chaosSpan = 60 * time.Second
+	// Window boundaries for the hit-rate-recovery assertion: before the
+	// first kill vs after the last rejoin.
+	preKillEnd      = 10 * time.Second
+	postRejoinStart = 47 * time.Second
+)
+
+// chaosStats is one chaos run's outcome.
+type chaosStats struct {
+	requests, failed           int
+	hits, misses               int
+	preHits, preTotal          int
+	postHits, postTotal        int
+	retries, hedges, failovers int64
+	warmKeys                   int64
+	latencies                  []time.Duration
+	elapsed                    time.Duration
+}
+
+func (s chaosStats) hitRate(hits, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// runChaos drives `requests` Zipf-distributed placement requests
+// through a 3-replica fleet on a virtual clock while the fault
+// schedule kills, restarts and blinds replicas, comparing every
+// response byte-for-byte against a single-replica oracle.
+func runChaos(t *testing.T, requests int) chaosStats {
+	t.Helper()
+	t.Logf("chaos replay: spec=%q seed=%d requests=%d", chaosSpec, chaosSeed, requests)
+
+	spec, err := fault.ParseFleetSpec(chaosSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewFleet(spec)
+
+	// Workload: a Zipf-skewed trace over a small corpus of generated
+	// graphs, bodies and fingerprints precomputed so the drive loop
+	// measures serving, not JSON encoding.
+	tr, err := gen.NewTrace(gen.TraceConfig{Corpus: 24, Requests: requests, Seed: chaosSeed, Nodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := make([][]byte, len(tr.Configs))
+	fps := make([][32]byte, len(tr.Configs))
+	for i, cfg := range tr.Configs {
+		g, err := gen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i], err = json.Marshal(service.PlaceRequest{Graph: g, Options: service.RequestOptions{BudgetMs: 50}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps[i] = g.Fingerprint()
+	}
+
+	// Oracle: one replica, no faults. Its answers are the ground truth
+	// the fleet must reproduce byte-for-byte through every failover.
+	ctx := context.Background()
+	oracleSrv := service.New(fastServiceConfig())
+	defer oracleSrv.Drain(ctx)
+	oracle := NewHandlerBackend("oracle", oracleSrv)
+	want := make([][]byte, len(bodies))
+	for i := range bodies {
+		resp, err := oracle.Do(ctx, http.MethodPost, "/v1/place", bodies[i])
+		if err != nil || resp.Status != http.StatusOK {
+			t.Fatalf("oracle solve %d: %v (status %d)", i, err, resp.Status)
+		}
+		want[i] = resp.Body
+	}
+
+	// The fleet: three replicas under chaos wrappers sharing one
+	// virtual clock; the router runs on the same clock so breakers and
+	// probes see chaos time.
+	var clockNs atomic.Int64
+	vclock := func() time.Duration { return time.Duration(clockNs.Load()) }
+	ids := []string{"r0", "r1", "r2"}
+	servers := make([]*service.Server, len(ids))
+	chaosBk := make([]*ChaosBackend, len(ids))
+	backends := make([]Backend, len(ids))
+	for i, id := range ids {
+		servers[i] = service.New(fastServiceConfig())
+		chaosBk[i] = NewChaosBackend(NewHandlerBackend(id, servers[i]), inj, vclock)
+		backends[i] = chaosBk[i]
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Drain(ctx)
+		}
+	}()
+	rt, err := New(Config{
+		DisableHedge:  true, // keep request counts exact for the oracle comparison
+		ProbeFailures: 1,
+		Passes:        3,
+		Seed:          chaosSeed,
+		Clock:         func() time.Time { return time.Unix(0, clockNs.Load()) },
+		Sleep:         func(ctx context.Context, d time.Duration) error { return nil },
+	}, backends...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive. Probe rounds interleave every probeEvery requests (~120
+	// rounds across the schedule); a restart is modeled as a *fresh*
+	// server swapped in — empty cache — so the post-rejoin hit rate is
+	// earned by warm-sync, not by surviving state.
+	stats := chaosStats{requests: requests}
+	wasKilled := make([]bool, len(ids))
+	probeEvery := requests / 120
+	if probeEvery < 1 {
+		probeEvery = 1
+	}
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		vt := chaosSpan * time.Duration(i) / time.Duration(requests)
+		clockNs.Store(int64(vt))
+		if i%probeEvery == 0 {
+			for r, id := range ids {
+				killed := inj.Killed(id, vt)
+				if wasKilled[r] && !killed {
+					servers[r] = service.New(fastServiceConfig())
+					chaosBk[r].Replace(NewHandlerBackend(id, servers[r]))
+				}
+				wasKilled[r] = killed
+			}
+			rt.ProbeAll(ctx)
+		}
+		rank := tr.Seq[i]
+		reqStart := time.Now()
+		resp, err := rt.Do(ctx, http.MethodPost, "/v1/place", bodies[rank], fps[rank])
+		stats.latencies = append(stats.latencies, time.Since(reqStart))
+		if err != nil || resp.Status != http.StatusOK {
+			stats.failed++
+			if stats.failed <= 5 {
+				t.Errorf("request %d (vt %v, rank %d) failed: err=%v status=%v", i, vt, rank, err, respStatus(resp))
+			}
+			continue
+		}
+		if string(resp.Body) != string(want[rank]) {
+			stats.failed++
+			if stats.failed <= 5 {
+				t.Errorf("request %d (rank %d): fleet answer differs from oracle", i, rank)
+			}
+			continue
+		}
+		hit := resp.Header.Get("X-Pesto-Cache") == "hit"
+		if hit {
+			stats.hits++
+		} else {
+			stats.misses++
+		}
+		switch {
+		case vt < preKillEnd:
+			stats.preTotal++
+			if hit {
+				stats.preHits++
+			}
+		case vt >= postRejoinStart:
+			stats.postTotal++
+			if hit {
+				stats.postHits++
+			}
+		}
+	}
+	stats.elapsed = time.Since(start)
+	stats.retries, stats.hedges, stats.failovers, stats.warmKeys = rt.Stats()
+	return stats
+}
+
+func respStatus(r *Response) int {
+	if r == nil {
+		return 0
+	}
+	return r.Status
+}
+
+// TestFleetChaosDeterministicZeroFailures is the fleet's core
+// robustness claim, sized for CI (override with PESTO_CHAOS_REQUESTS):
+// across two kills, two cold rejoins and a probe blackhole, no request
+// fails, every plan matches the single-replica oracle byte-for-byte,
+// and the post-rejoin cache hit rate recovers to >=90% of the
+// pre-kill rate. The "Determin" name places it in the GOMAXPROCS CI
+// matrix: the guarantees hold at any parallelism.
+func TestFleetChaosDeterministicZeroFailures(t *testing.T) {
+	requests := 2000
+	if v := os.Getenv("PESTO_CHAOS_REQUESTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 100 {
+			t.Fatalf("PESTO_CHAOS_REQUESTS=%q invalid", v)
+		}
+		requests = n
+	}
+	stats := runChaos(t, requests)
+	if stats.failed != 0 {
+		t.Fatalf("%d of %d requests failed (replay: spec=%q seed=%d requests=%d)",
+			stats.failed, stats.requests, chaosSpec, chaosSeed, requests)
+	}
+	if stats.failovers == 0 {
+		t.Fatal("chaos run saw no failovers: the schedule did not exercise the fleet")
+	}
+	if stats.warmKeys == 0 {
+		t.Fatal("no warm-sync keys installed: rejoin path not exercised")
+	}
+	pre := stats.hitRate(stats.preHits, stats.preTotal)
+	post := stats.hitRate(stats.postHits, stats.postTotal)
+	if stats.preTotal == 0 || stats.postTotal == 0 {
+		t.Fatalf("empty measurement window: pre %d, post %d", stats.preTotal, stats.postTotal)
+	}
+	if post < 0.9*pre {
+		t.Fatalf("hit rate did not recover: pre-kill %.3f, post-rejoin %.3f (want >= 90%%)", pre, post)
+	}
+	t.Logf("chaos: %d requests, 0 failed, hit rate pre %.3f post %.3f, %d failovers, %d retries, %d warm-synced keys",
+		stats.requests, pre, post, stats.failovers, stats.retries, stats.warmKeys)
+}
+
+// TestFleetChaosBench is the committed-benchmark producer: a large
+// chaos run (default 100k requests) recording latency percentiles,
+// throughput and hit-rate recovery into BENCH_fleet.json at the repo
+// root. Wall-clock numbers are machine-dependent, so only
+// PESTO_BENCH_FLEET=1 opts in.
+func TestFleetChaosBench(t *testing.T) {
+	if os.Getenv("PESTO_BENCH_FLEET") == "" {
+		t.Skip("set PESTO_BENCH_FLEET=1 to run the fleet chaos benchmark")
+	}
+	requests := 100000
+	if v := os.Getenv("PESTO_CHAOS_REQUESTS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 100 {
+			requests = n
+		}
+	}
+	stats := runChaos(t, requests)
+	if stats.failed != 0 {
+		t.Fatalf("%d requests failed", stats.failed)
+	}
+	lat := append([]time.Duration(nil), stats.latencies...)
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	pct := func(p int) time.Duration { return lat[(len(lat)-1)*p/100] }
+	pre := stats.hitRate(stats.preHits, stats.preTotal)
+	post := stats.hitRate(stats.postHits, stats.postTotal)
+	snapshot := map[string]any{
+		"requests":            stats.requests,
+		"replicas":            3,
+		"corpus":              24,
+		"zipf_skew":           1.2,
+		"fault_spec":          chaosSpec,
+		"seed":                chaosSeed,
+		"failed_requests":     stats.failed,
+		"p50_us":              pct(50).Microseconds(),
+		"p99_us":              pct(99).Microseconds(),
+		"throughput_rps":      int64(float64(stats.requests) / stats.elapsed.Seconds()),
+		"hit_rate_prekill":    fmt.Sprintf("%.4f", pre),
+		"hit_rate_postrejoin": fmt.Sprintf("%.4f", post),
+		"failovers":           stats.failovers,
+		"retries":             stats.retries,
+		"warmsync_keys":       stats.warmKeys,
+		"note":                "3 in-process replicas under the chaos schedule (2 kills + cold rejoins, 1 probe blackhole); every response byte-identical to a single-replica oracle; latencies are full router round-trips",
+	}
+	buf, err := json.MarshalIndent(snapshot, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_fleet.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_fleet.json: p50 %v p99 %v, %.0f rps", pct(50), pct(99), float64(stats.requests)/stats.elapsed.Seconds())
+}

@@ -1,0 +1,156 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// fleetMetrics instruments the router: counters behind a mutex plus
+// per-replica gauges read live at scrape time. Exposition is the same
+// hand-rolled Prometheus text format as internal/service, with every
+// label set emitted in sorted order so consecutive scrapes of an idle
+// router are byte-identical (the golden test holds this).
+type fleetMetrics struct {
+	mu sync.Mutex
+	// requests[endpoint][outcome] counts finished router requests.
+	requests map[string]map[string]int64
+	// retries counts full failed passes that slept and went around again.
+	retries int64
+	// hedges counts hedge requests fired; hedgeWins counts hedges whose
+	// answer was used.
+	hedges, hedgeWins int64
+	// failovers counts requests answered by a replica other than the
+	// ring owner.
+	failovers int64
+	// warmsyncKeys counts cache entries installed into rejoining
+	// replicas.
+	warmsyncKeys int64
+	// batch dedup accounting: batchRequests counts batch entries
+	// received, batchDeduped counts entries answered by another entry's
+	// solve.
+	batchRequests, batchDeduped int64
+
+	// replicaStates reads live per-replica liveness and breaker state,
+	// sorted by replica ID.
+	replicaStates func() []replicaState
+}
+
+// replicaState is one replica's scrape-time condition.
+type replicaState struct {
+	id      string
+	up      bool
+	breaker int
+}
+
+func newFleetMetrics() *fleetMetrics {
+	return &fleetMetrics{requests: make(map[string]map[string]int64)}
+}
+
+func (m *fleetMetrics) request(endpoint, outcome string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byOutcome := m.requests[endpoint]
+	if byOutcome == nil {
+		byOutcome = make(map[string]int64)
+		m.requests[endpoint] = byOutcome
+	}
+	byOutcome[outcome]++
+}
+
+func (m *fleetMetrics) addRetry() { m.add(&m.retries, 1) }
+
+func (m *fleetMetrics) addHedge() { m.add(&m.hedges, 1) }
+
+func (m *fleetMetrics) addHedgeWin() { m.add(&m.hedgeWins, 1) }
+
+func (m *fleetMetrics) addFailover() { m.add(&m.failovers, 1) }
+
+func (m *fleetMetrics) addWarmsyncKeys(n int64) { m.add(&m.warmsyncKeys, n) }
+
+func (m *fleetMetrics) addBatch(entries, deduped int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batchRequests += entries
+	m.batchDeduped += deduped
+}
+
+func (m *fleetMetrics) add(p *int64, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	*p += n
+}
+
+// snapshot reads the counters for tests.
+func (m *fleetMetrics) snapshot() (retries, hedges, failovers, warmsync int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.retries, m.hedges, m.failovers, m.warmsyncKeys
+}
+
+// write emits the Prometheus text exposition.
+func (m *fleetMetrics) write(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP pestod_fleet_requests_total Finished fleet-router requests by endpoint and outcome.")
+	fmt.Fprintln(w, "# TYPE pestod_fleet_requests_total counter")
+	for _, ep := range sortedKeys(m.requests) {
+		byOutcome := m.requests[ep]
+		for _, oc := range sortedKeys(byOutcome) {
+			fmt.Fprintf(w, "pestod_fleet_requests_total{endpoint=%q,outcome=%q} %d\n", ep, oc, byOutcome[oc])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP pestod_fleet_retries_total Failed full ring passes that backed off and retried.")
+	fmt.Fprintln(w, "# TYPE pestod_fleet_retries_total counter")
+	fmt.Fprintf(w, "pestod_fleet_retries_total %d\n", m.retries)
+	fmt.Fprintln(w, "# HELP pestod_fleet_hedges_total Hedge requests fired at the next ring replica.")
+	fmt.Fprintln(w, "# TYPE pestod_fleet_hedges_total counter")
+	fmt.Fprintf(w, "pestod_fleet_hedges_total %d\n", m.hedges)
+	fmt.Fprintln(w, "# HELP pestod_fleet_hedge_wins_total Hedge requests whose answer was served.")
+	fmt.Fprintln(w, "# TYPE pestod_fleet_hedge_wins_total counter")
+	fmt.Fprintf(w, "pestod_fleet_hedge_wins_total %d\n", m.hedgeWins)
+	fmt.Fprintln(w, "# HELP pestod_fleet_failovers_total Requests answered by a replica other than the ring owner.")
+	fmt.Fprintln(w, "# TYPE pestod_fleet_failovers_total counter")
+	fmt.Fprintf(w, "pestod_fleet_failovers_total %d\n", m.failovers)
+	fmt.Fprintln(w, "# HELP pestod_fleet_warmsync_keys_total Cache entries installed into rejoining replicas.")
+	fmt.Fprintln(w, "# TYPE pestod_fleet_warmsync_keys_total counter")
+	fmt.Fprintf(w, "pestod_fleet_warmsync_keys_total %d\n", m.warmsyncKeys)
+	fmt.Fprintln(w, "# HELP pestod_fleet_batch_entries_total Batch entries received by POST /v1/place/batch.")
+	fmt.Fprintln(w, "# TYPE pestod_fleet_batch_entries_total counter")
+	fmt.Fprintf(w, "pestod_fleet_batch_entries_total %d\n", m.batchRequests)
+	fmt.Fprintln(w, "# HELP pestod_fleet_batch_deduped_total Batch entries answered by another identical entry's solve.")
+	fmt.Fprintln(w, "# TYPE pestod_fleet_batch_deduped_total counter")
+	fmt.Fprintf(w, "pestod_fleet_batch_deduped_total %d\n", m.batchDeduped)
+
+	var states []replicaState
+	if m.replicaStates != nil {
+		states = m.replicaStates()
+	}
+	sort.Slice(states, func(a, b int) bool { return states[a].id < states[b].id })
+	fmt.Fprintln(w, "# HELP pestod_fleet_replica_up Replica liveness as seen by the router (1 = taking traffic).")
+	fmt.Fprintln(w, "# TYPE pestod_fleet_replica_up gauge")
+	for _, st := range states {
+		up := 0
+		if st.up {
+			up = 1
+		}
+		fmt.Fprintf(w, "pestod_fleet_replica_up{replica=%q} %d\n", st.id, up)
+	}
+	fmt.Fprintln(w, "# HELP pestod_fleet_breaker_state Circuit-breaker state per replica (0 closed, 1 half-open, 2 open).")
+	fmt.Fprintln(w, "# TYPE pestod_fleet_breaker_state gauge")
+	for _, st := range states {
+		fmt.Fprintf(w, "pestod_fleet_breaker_state{replica=%q} %d\n", st.id, st.breaker)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,115 @@
+// Package fleet is the fault-tolerant serving tier over a set of
+// pestod replicas: a consistent-hash router keyed on graph
+// fingerprints, with active health checking, passive circuit breakers,
+// deadline-aware retries, latency-triggered hedging, and warm-sync
+// failover. One replica going down moves only its arc of the keyspace;
+// a replica coming back warm-syncs that arc from its ring neighbors
+// before taking traffic, so a kill/rejoin cycle costs locality, not
+// correctness. Plans stay byte-identical to a single-replica oracle —
+// the router moves requests, never changes answers.
+//
+// The package uses only the standard library, mirroring
+// internal/service. See DESIGN.md, "Fleet model".
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// vnodeSalt versions the vnode hash so ring layout changes are
+// deliberate (a salt bump remaps every arc).
+const vnodeSalt = "pesto/fleet-vnode/v1|"
+
+// vnodeHash places one virtual node of a replica on the ring.
+func vnodeHash(id string, v int) uint64 {
+	h := sha256.Sum256([]byte(vnodeSalt + id + "|" + strconv.Itoa(v)))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// ring is a consistent-hash ring over replica indices. Each replica
+// owns the arcs (prev, point] ending at its virtual nodes; a key's
+// ring point (service.RingPoint of its graph fingerprint) lands on
+// exactly one arc. Virtual nodes smooth the per-replica keyspace share
+// so three replicas each own roughly a third of the hot set.
+//
+// The ring is immutable after construction: liveness is the router's
+// concern (dead replicas are skipped in successor order), not the
+// ring's, so membership changes never remap arcs out from under the
+// warm-sync protocol.
+type ring struct {
+	points []ringVnode // sorted ascending by hash
+	n      int         // replica count
+}
+
+// ringVnode is one virtual node: a position and its owning replica.
+type ringVnode struct {
+	hash uint64
+	idx  int
+}
+
+// newRing builds the ring for n replicas with the given IDs and vnodes
+// virtual nodes per replica.
+func newRing(ids []string, vnodes int) *ring {
+	r := &ring{n: len(ids)}
+	for i, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringVnode{hash: vnodeHash(id, v), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].idx < r.points[b].idx
+	})
+	return r
+}
+
+// ownerAt returns the index into points of the virtual node owning
+// ring point p: the first vnode at or clockwise of p, wrapping to the
+// lowest vnode past the top of the keyspace (arcs are (prev, point]).
+func (r *ring) ownerAt(p uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= p })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// successors returns every replica index in preference order for ring
+// point p: the owner first, then each distinct replica met walking
+// clockwise. This is both the failover order (next successor takes a
+// dead owner's arc) and the hedge order.
+func (r *ring) successors(p uint64) []int {
+	out := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	start := r.ownerAt(p)
+	for off := 0; off < len(r.points) && len(out) < r.n; off++ {
+		idx := r.points[(start+off)%len(r.points)].idx
+		if !seen[idx] {
+			seen[idx] = true
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// arcs returns the keyspace owned by replica idx as (lo, hi] pairs —
+// the shard coordinates the warm-sync protocol passes to
+// GET /v1/cache/export. With a single replica the one merged arc
+// degenerates to lo == hi, which the export endpoint reads as the full
+// ring — consistent by construction.
+func (r *ring) arcs(idx int) [][2]uint64 {
+	var out [][2]uint64
+	for i, pt := range r.points {
+		if pt.idx != idx {
+			continue
+		}
+		prev := r.points[(i+len(r.points)-1)%len(r.points)].hash
+		out = append(out, [2]uint64{prev, pt.hash})
+	}
+	return out
+}

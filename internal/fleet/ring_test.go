@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"pesto/internal/service"
+)
+
+func testIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("r%d", i)
+	}
+	return ids
+}
+
+// testPoint derives a pseudo-random ring point from an integer the way
+// real keys do: through a SHA-256 fingerprint.
+func testPoint(i int) uint64 {
+	var fp [32]byte
+	h := sha256.Sum256(binary.BigEndian.AppendUint64(nil, uint64(i)))
+	copy(fp[:], h[:])
+	return service.RingPoint(fp)
+}
+
+func TestRingBalance(t *testing.T) {
+	r := newRing(testIDs(3), 64)
+	counts := make([]int, 3)
+	const keys = 30000
+	for i := 0; i < keys; i++ {
+		counts[r.points[r.ownerAt(testPoint(i))].idx]++
+	}
+	// With 64 vnodes each replica should own a reasonable share: no
+	// replica below half or above double the fair third.
+	fair := keys / 3
+	for i, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Fatalf("replica %d owns %d of %d keys (fair %d): ring unbalanced %v", i, c, keys, fair, counts)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinctAndComplete(t *testing.T) {
+	r := newRing(testIDs(4), 16)
+	for i := 0; i < 100; i++ {
+		succ := r.successors(testPoint(i))
+		if len(succ) != 4 {
+			t.Fatalf("point %d: got %d successors, want 4", i, len(succ))
+		}
+		seen := map[int]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("point %d: duplicate successor %d in %v", i, s, succ)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestRingStableUnderRepeat(t *testing.T) {
+	a := newRing(testIDs(3), 32)
+	b := newRing(testIDs(3), 32)
+	for i := 0; i < 100; i++ {
+		p := testPoint(i)
+		if a.points[a.ownerAt(p)].idx != b.points[b.ownerAt(p)].idx {
+			t.Fatalf("owner of point %d differs across identical rings", i)
+		}
+	}
+}
+
+// TestRingArcsPartition holds the warm-sync contract: every key lies
+// in exactly one replica's arc set, and that replica is its owner.
+func TestRingArcsPartition(t *testing.T) {
+	r := newRing(testIDs(3), 16)
+	arcs := make([][][2]uint64, 3)
+	for i := range arcs {
+		arcs[i] = r.arcs(i)
+	}
+	inArc := func(a [2]uint64, p uint64) bool {
+		lo, hi := a[0], a[1]
+		if lo == hi {
+			return true
+		}
+		if lo < hi {
+			return lo < p && p <= hi
+		}
+		return p > lo || p <= hi
+	}
+	for i := 0; i < 2000; i++ {
+		p := testPoint(i)
+		owner := r.points[r.ownerAt(p)].idx
+		for rep := range arcs {
+			n := 0
+			for _, a := range arcs[rep] {
+				if inArc(a, p) {
+					n++
+				}
+			}
+			want := 0
+			if rep == owner {
+				want = 1
+			}
+			if n != want {
+				t.Fatalf("point %d: replica %d covers it %d times, want %d (owner %d)", i, rep, n, want, owner)
+			}
+		}
+	}
+}
+
+func TestRingSingleReplicaOwnsFullRing(t *testing.T) {
+	r := newRing([]string{"solo"}, 4)
+	for i := 0; i < 50; i++ {
+		if got := r.points[r.ownerAt(testPoint(i))].idx; got != 0 {
+			t.Fatalf("single-replica ring routed point %d to %d", i, got)
+		}
+	}
+	// Merged coverage across its arcs must be the whole ring.
+	arcs := r.arcs(0)
+	if len(arcs) != 4 {
+		t.Fatalf("got %d arcs, want 4", len(arcs))
+	}
+}

@@ -9,18 +9,29 @@ import (
 
 // cacheEntry is one content-addressed plan. An entry is inserted
 // before its fill completes so concurrent requests for the same key
-// coalesce onto one solve (singleflight): the first requester becomes
-// the leader and fills the entry; followers block on ready.
+// coalesce onto one solve (singleflight): the fill runs on its own
+// goroutine and every requester — including the one that triggered it
+// — just waits on ready. The fill's context stays alive while at
+// least one requester is still interested; when the last waiter
+// abandons (client disconnect, deadline), the fill is cancelled so an
+// orphaned solve cannot hold a solver slot.
 type cacheEntry struct {
-	key   [32]byte
-	elem  *list.Element
-	ready chan struct{} // closed once body/err are final
+	key  [32]byte
+	fp   [32]byte // graph fingerprint: the fleet ring's shard coordinate
+	elem *list.Element
+	// ready is closed once body/err are final.
+	ready chan struct{}
 	// done is written under the cache mutex strictly before ready is
 	// closed; the evictor reads it under the same mutex, so it never
 	// needs to poll the channel.
 	done bool
 	body []byte
 	err  error
+	// interest counts requesters currently waiting on ready. When it
+	// drops to zero before done, cancelFill aborts the solve: nobody is
+	// left to consume the answer. Guarded by the cache mutex.
+	interest   int
+	cancelFill context.CancelFunc
 }
 
 // planCache is the content-addressed plan store: a bounded LRU map
@@ -40,6 +51,8 @@ type planCache struct {
 	fills atomic.Int64
 	// evictions counts entries dropped by the LRU bound.
 	evictions atomic.Int64
+	// imports counts entries installed by bulk import (fleet warm-sync).
+	imports atomic.Int64
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -55,43 +68,74 @@ func newPlanCache(capacity int) *planCache {
 
 // getOrFill returns the body stored under key, running fill to produce
 // it on first request. Exactly one fill runs per live key regardless
-// of concurrency; followers wait for the leader (or their ctx).
+// of concurrency; it executes on a dedicated goroutine under fillCtx,
+// which is cancelled only when every waiter has abandoned the key —
+// so a singleflight leader hanging up never strands its followers
+// (the solve keeps running for them), while a solve nobody wants
+// anymore is cancelled and its solver slot freed.
 // A failed fill is not cached — the entry is removed so a later
 // request retries — but every follower already waiting shares the
-// leader's error rather than stampeding the solver.
+// fill's error rather than stampeding the solver.
 //
 // hit reports whether the body came from the cache: false only for the
-// leader that ran fill.
-func (c *planCache) getOrFill(ctx context.Context, key [32]byte, fill func() ([]byte, error)) (body []byte, hit bool, err error) {
+// requester that triggered fill.
+func (c *planCache) getOrFill(ctx context.Context, key, fp [32]byte, fill func(ctx context.Context) ([]byte, error)) (body []byte, hit bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(e.elem)
-		c.mu.Unlock()
-		select {
-		case <-e.ready:
+		if e.done {
+			c.mu.Unlock()
 			return e.body, true, e.err
-		case <-ctx.Done():
-			return nil, false, ctx.Err()
 		}
+		e.interest++
+		c.mu.Unlock()
+		return c.wait(ctx, e, true)
 	}
-	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	fillCtx, cancel := context.WithCancel(context.Background())
+	e := &cacheEntry{key: key, fp: fp, ready: make(chan struct{}), interest: 1, cancelFill: cancel}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
 	c.evictLocked()
 	c.mu.Unlock()
 
 	c.fills.Add(1)
-	body, err = fill()
+	go func() {
+		defer cancel()
+		body, err := fill(fillCtx)
+		c.mu.Lock()
+		e.body, e.err = body, err
+		e.done = true
+		if err != nil {
+			c.removeLocked(e)
+		}
+		c.mu.Unlock()
+		close(e.ready)
+	}()
+	return c.wait(ctx, e, false)
+}
 
-	c.mu.Lock()
-	e.body, e.err = body, err
-	e.done = true
-	if err != nil {
-		c.removeLocked(e)
+// wait blocks until the entry's fill completes or ctx ends. Leaving
+// early decrements the entry's interest count under the cache mutex;
+// the waiter that drops it to zero cancels the fill (still under the
+// mutex, so a new requester arriving concurrently either raises the
+// count first — and keeps the fill alive — or finds the entry already
+// failed and retries).
+func (c *planCache) wait(ctx context.Context, e *cacheEntry, hit bool) ([]byte, bool, error) {
+	select {
+	case <-e.ready:
+		c.mu.Lock()
+		e.interest--
+		c.mu.Unlock()
+		return e.body, hit, e.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		e.interest--
+		if e.interest == 0 && !e.done {
+			e.cancelFill()
+		}
+		c.mu.Unlock()
+		return nil, false, ctx.Err()
 	}
-	c.mu.Unlock()
-	close(e.ready)
-	return body, false, err
 }
 
 // peek reports whether key is cached and filled, without touching LRU
@@ -110,10 +154,74 @@ func (c *planCache) len() int {
 	return len(c.entries)
 }
 
+// exportShard returns the completed entries whose graph fingerprint
+// ring-point lies in the arc (lo, hi] — wrapped when lo >= hi — in
+// deterministic (LRU back-to-front, i.e. coldest-first) order. The
+// fleet warm-sync protocol pulls these from a rejoining replica's ring
+// neighbors. Export does not touch LRU order: a peer syncing a shard
+// must not look like traffic.
+func (c *planCache) exportShard(lo, hi uint64) []exportedEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []exportedEntry
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		if !e.done || e.err != nil {
+			continue
+		}
+		if !arcContains(lo, hi, RingPoint(e.fp)) {
+			continue
+		}
+		out = append(out, exportedEntry{key: e.key, fp: e.fp, body: e.body})
+	}
+	return out
+}
+
+// install inserts one completed entry (fleet warm-sync import). An
+// existing entry for the key — filled, filling, or failed-and-racing —
+// is left untouched: local solves outrank synced copies. It reports
+// whether the entry was installed.
+func (c *planCache) install(key, fp [32]byte, body []byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	e := &cacheEntry{key: key, fp: fp, ready: make(chan struct{}), done: true, body: body}
+	close(e.ready)
+	// Imported entries enter at the cold end: they are restored state,
+	// not observed traffic, and must not evict genuinely hot entries.
+	e.elem = c.lru.PushBack(e)
+	c.entries[key] = e
+	c.imports.Add(1)
+	c.evictLocked()
+	return true
+}
+
+// exportedEntry is one cache entry leaving through exportShard.
+type exportedEntry struct {
+	key  [32]byte
+	fp   [32]byte
+	body []byte
+}
+
+// arcContains reports whether point p lies on the ring arc (lo, hi].
+// lo == hi denotes the full ring (a single-replica fleet owns
+// everything); lo > hi wraps through zero.
+func arcContains(lo, hi, p uint64) bool {
+	if lo == hi {
+		return true
+	}
+	if lo < hi {
+		return lo < p && p <= hi
+	}
+	return p > lo || p <= hi
+}
+
 // evictLocked drops least-recently-used completed entries until the
 // cache fits its bound. In-flight fills are never evicted — their
-// leaders and followers hold references — so the cache can transiently
-// exceed cap by the number of concurrent distinct fills.
+// waiters hold references — so the cache can transiently exceed cap by
+// the number of concurrent distinct fills.
 func (c *planCache) evictLocked() {
 	for len(c.entries) > c.cap {
 		victim := (*cacheEntry)(nil)
@@ -132,7 +240,7 @@ func (c *planCache) evictLocked() {
 }
 
 // removeLocked detaches an entry from both indexes. Idempotent: a
-// leader finishing after its entry was evicted must not corrupt the
+// fill finishing after its entry was evicted must not corrupt the
 // list.
 func (c *planCache) removeLocked(e *cacheEntry) {
 	if cur, ok := c.entries[e.key]; ok && cur == e {

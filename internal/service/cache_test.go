@@ -28,7 +28,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			body, _, err := c.getOrFill(context.Background(), key, func() ([]byte, error) {
+			body, _, err := c.getOrFill(context.Background(), key, key, func(context.Context) ([]byte, error) {
 				fillRuns++ // leader-only; racy writes here would trip -race
 				<-started  // hold followers on the ready channel
 				return []byte("plan"), nil
@@ -59,7 +59,7 @@ func TestCacheFailedFillRetries(t *testing.T) {
 	c := newPlanCache(16)
 	key := [32]byte{2}
 	boom := errors.New("boom")
-	if _, _, err := c.getOrFill(context.Background(), key, func() ([]byte, error) {
+	if _, _, err := c.getOrFill(context.Background(), key, key, func(context.Context) ([]byte, error) {
 		return nil, boom
 	}); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
@@ -67,7 +67,7 @@ func TestCacheFailedFillRetries(t *testing.T) {
 	if c.len() != 0 {
 		t.Fatalf("failed fill cached: len %d", c.len())
 	}
-	body, hit, err := c.getOrFill(context.Background(), key, func() ([]byte, error) {
+	body, hit, err := c.getOrFill(context.Background(), key, key, func(context.Context) ([]byte, error) {
 		return []byte("ok"), nil
 	})
 	if err != nil || hit || !bytes.Equal(body, []byte("ok")) {
@@ -82,7 +82,7 @@ func TestCacheFollowerContextCancel(t *testing.T) {
 	c := newPlanCache(16)
 	key := [32]byte{3}
 	block := make(chan struct{})
-	go c.getOrFill(context.Background(), key, func() ([]byte, error) {
+	go c.getOrFill(context.Background(), key, key, func(context.Context) ([]byte, error) {
 		<-block
 		return []byte("late"), nil
 	})
@@ -91,7 +91,7 @@ func TestCacheFollowerContextCancel(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, err := c.getOrFill(ctx, key, func() ([]byte, error) {
+	_, _, err := c.getOrFill(ctx, key, key, func(context.Context) ([]byte, error) {
 		t.Error("follower ran fill")
 		return nil, nil
 	})
@@ -115,7 +115,7 @@ func TestCacheEvictionStress(t *testing.T) {
 				var key [32]byte
 				key[0] = byte((gr*7 + i) % keys)
 				want := []byte{key[0]}
-				body, _, err := c.getOrFill(context.Background(), key, func() ([]byte, error) {
+				body, _, err := c.getOrFill(context.Background(), key, key, func(context.Context) ([]byte, error) {
 					return []byte{key[0]}, nil
 				})
 				if err != nil {

@@ -202,9 +202,13 @@ type PlaceResponse struct {
 // ErrorResponse is the JSON body of every non-2xx response. RequestID
 // matches the X-Request-ID response header, so an error quoted by a
 // client can be correlated with server logs and span dumps.
+// RetryAfterSec mirrors the Retry-After header on 429/503 responses —
+// parseable backoff seconds for clients (and the fleet router) that
+// only look at bodies.
 type ErrorResponse struct {
-	Error     string `json:"error"`
-	RequestID string `json:"requestId,omitempty"`
+	Error         string `json:"error"`
+	RequestID     string `json:"requestId,omitempty"`
+	RetryAfterSec int64  `json:"retryAfterSec,omitempty"`
 }
 
 // DecodePlaceRequest reads and validates one request body of at most

@@ -145,7 +145,12 @@ type Server struct {
 // errDraining rejects solve work that arrives after Drain began.
 var errDraining = errors.New("server draining")
 
-// beginSolve registers one unit of solve work, unless draining.
+// beginSolve registers one unit of solve work, unless draining. It is
+// the *single* drain gate: handlers do not pre-check the draining flag
+// (a request admitted between such a check and registration would race
+// Drain), so every solve-shaped request takes exactly one consistent
+// path to its 503 — errDraining surfacing out of the solve. Cache hits
+// keep being served during drain; only new solve work is refused.
 // The returned release func is non-nil exactly when err is nil.
 func (s *Server) beginSolve() (release func(), err error) {
 	s.solveMu.Lock()
@@ -174,6 +179,8 @@ func New(cfg Config) *Server {
 	s.met.cacheEntries = func() int64 { return int64(s.cache.len()) }
 	s.mux.HandleFunc("POST /v1/place", s.handlePlace)
 	s.mux.HandleFunc("POST /v1/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/cache/export", s.handleCacheExport)
+	s.mux.HandleFunc("POST /v1/cache/import", s.handleCacheImport)
 	s.mux.HandleFunc("GET /v1/requests/{id}/spans", s.handleSpans)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -247,11 +254,6 @@ func (s *Server) beginTelemetry(w http.ResponseWriter, r *http.Request, endpoint
 // byte-identical in the body.
 func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	ctx, rid, finish := s.beginTelemetry(w, r, "place")
-	if s.draining.Load() {
-		s.reject(w, "place", rid, http.StatusServiceUnavailable, "draining", errors.New("server draining"))
-		finish("draining")
-		return
-	}
 	req, opts, err := s.decode(r)
 	if err != nil {
 		finish(s.httpError(w, "place", rid, err))
@@ -276,11 +278,6 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 // the plan the place path would return — same cache, same admission.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	ctx, rid, finish := s.beginTelemetry(w, r, "trace")
-	if s.draining.Load() {
-		s.reject(w, "trace", rid, http.StatusServiceUnavailable, "draining", errors.New("server draining"))
-		finish("draining")
-		return
-	}
 	req, opts, err := s.decode(r)
 	if err != nil {
 		finish(s.httpError(w, "trace", rid, err))
@@ -363,17 +360,22 @@ func (s *Server) respond(ctx context.Context, req *PlaceRequest, opts RequestOpt
 		body, err = s.solve(ctx, req.Graph, fp, key, opts)
 		return body, false, err
 	}
-	return s.cache.getOrFill(ctx, key, func() ([]byte, error) {
-		// Cache fills are detached from the leader request's context:
-		// with singleflight, followers may be waiting on this solve, so
-		// the leader hanging up must not kill their answer. The solve
-		// budget (plus ladder slack) and the server's own lifetime
-		// still bound it.
+	return s.cache.getOrFill(ctx, key, fp, func(interest context.Context) ([]byte, error) {
+		// Cache fills run on their own goroutine, detached from any one
+		// request's context: with singleflight, followers may be waiting
+		// on this solve, so the first requester hanging up must not kill
+		// their answer. The fill is bounded by the solve budget (plus
+		// ladder slack), the server's own lifetime, and the interest
+		// context — which the cache cancels only when *every* waiter has
+		// abandoned the key, so a solve nobody wants frees its solver
+		// slot instead of running to completion.
 		fillCtx, cancel := context.WithTimeout(s.baseCtx, 2*opts.budget()+5*time.Second)
 		defer cancel()
+		stop := context.AfterFunc(interest, cancel)
+		defer stop()
 		// Detaching drops the request context's values too, so the
-		// leader's recorder is re-injected: the fill's spans and solver
-		// counters still land in the leader's telemetry.
+		// requester's recorder is re-injected: the fill's spans and
+		// solver counters still land in its telemetry.
 		fillCtx = obs.Into(fillCtx, obs.From(ctx))
 		return s.solve(fillCtx, req.Graph, fp, key, opts)
 	})
@@ -450,14 +452,19 @@ func (s *Server) httpError(w http.ResponseWriter, endpoint, rid string, err erro
 
 // reject writes one JSON error response with overload hints. The
 // request ID rides in the body so clients quoting an error can be
-// correlated with logs and span dumps.
+// correlated with logs and span dumps; 429/503 responses carry the
+// Retry-After hint both as the standard header and as parseable
+// seconds in the body (retryAfterSec), so clients that only see the
+// body can still back off correctly.
 func (s *Server) reject(w http.ResponseWriter, endpoint, rid string, code int, outcome string, err error) {
 	w.Header().Set("Content-Type", "application/json")
+	resp := ErrorResponse{Error: err.Error(), RequestID: rid}
 	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		resp.RetryAfterSec = int64((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(resp.RetryAfterSec, 10))
 	}
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), RequestID: rid})
+	json.NewEncoder(w).Encode(resp)
 	s.met.request(endpoint, outcome)
 }
 

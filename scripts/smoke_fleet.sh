@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# smoke_fleet.sh — end-to-end smoke test of pestod's fleet mode:
+#
+#   leg 1 (in-process fleet): start `pestod -fleet 3`, solve a graph
+#   (miss), repeat it (hit, byte-identical, same replica), dedupe a
+#   batch, check /healthz reports three live replicas and /metrics
+#   carries the pestod_fleet_* family, then SIGTERM and require a
+#   clean drain.
+#
+#   leg 2 (HTTP backends): start two standalone pestod replicas and a
+#   router fronting them via -fleet-backends, solve through the router,
+#   kill one replica and require the repeat request to still answer
+#   200 with a byte-identical plan (failover).
+#
+# Usage: scripts/smoke_fleet.sh  (or: make fleet-smoke)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PORT="${PESTOD_FLEET_PORT:-18361}"
+BPORT1=$((PORT + 1))
+BPORT2=$((PORT + 2))
+RPORT=$((PORT + 3))
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+PIDS=""
+
+cleanup() {
+    for p in $PIDS; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "fleet-smoke: FAIL: $*" >&2; exit 1; }
+
+wait_healthy() { # url logfile pid
+    for i in $(seq 1 100); do
+        if curl -fsS "$1/healthz" > /dev/null 2>&1; then return 0; fi
+        kill -0 "$3" 2>/dev/null || { cat "$2" >&2; fail "process exited during startup"; }
+        sleep 0.1
+    done
+    fail "no healthy /healthz at $1"
+}
+
+echo "fleet-smoke: building pestod"
+go build -o "$WORK/pestod" ./cmd/pestod
+
+echo "fleet-smoke: assembling request bodies"
+printf '{"graph": %s, "options": {"budgetMs": 500}}' \
+    "$(cat cmd/pestod/testdata/smoke_graph.json)" > "$WORK/req.json"
+# A batch of three entries: two identical (must dedupe) plus one with
+# different options (must solve separately).
+printf '{"requests": [%s, %s, {"graph": %s, "options": {"budgetMs": 501}}]}' \
+    "$(cat "$WORK/req.json")" "$(cat "$WORK/req.json")" \
+    "$(cat cmd/pestod/testdata/smoke_graph.json)" > "$WORK/batch.json"
+
+# ---- leg 1: in-process fleet -------------------------------------------
+echo "fleet-smoke: starting pestod -fleet 3 on $BASE"
+"$WORK/pestod" -addr "127.0.0.1:$PORT" -fleet 3 -solvers 2 -budget 2s > "$WORK/fleet.log" 2>&1 &
+FLEET_PID=$!
+PIDS="$PIDS $FLEET_PID"
+wait_healthy "$BASE" "$WORK/fleet.log" "$FLEET_PID"
+
+echo "fleet-smoke: healthz reports three live replicas"
+curl -fsS "$BASE/healthz" > "$WORK/health.json"
+grep -q '"status":"ok"' "$WORK/health.json" || fail "fleet healthz not ok"
+for r in r0 r1 r2; do
+    grep -q "\"id\":\"$r\"" "$WORK/health.json" || fail "replica $r missing from healthz"
+done
+
+echo "fleet-smoke: first solve (expect miss, routed by fingerprint)"
+code=$(curl -sS -o "$WORK/resp1.json" -w '%{http_code}' -D "$WORK/h1" \
+    -H 'Content-Type: application/json' --data-binary @"$WORK/req.json" "$BASE/v1/place")
+[ "$code" = 200 ] || { cat "$WORK/resp1.json" >&2; fail "first solve status $code"; }
+grep -qi '^x-pesto-cache: miss' "$WORK/h1" || fail "first solve was not a miss"
+grep -qi '^x-pesto-replica: r' "$WORK/h1" || fail "no X-Pesto-Replica header"
+owner=$(grep -i '^x-pesto-replica:' "$WORK/h1" | tr -d '\r' | awk '{print $2}')
+
+echo "fleet-smoke: repeat solve (expect hit on the same replica, byte-identical)"
+code=$(curl -sS -o "$WORK/resp2.json" -w '%{http_code}' -D "$WORK/h2" \
+    -H 'Content-Type: application/json' --data-binary @"$WORK/req.json" "$BASE/v1/place")
+[ "$code" = 200 ] || fail "repeat solve status $code"
+grep -qi '^x-pesto-cache: hit' "$WORK/h2" || fail "repeat solve was not a hit"
+grep -qi "^x-pesto-replica: $owner" "$WORK/h2" || fail "repeat solve left replica $owner"
+cmp -s "$WORK/resp1.json" "$WORK/resp2.json" || fail "responses not byte-identical"
+
+echo "fleet-smoke: batch dedupes identical entries"
+code=$(curl -sS -o "$WORK/batchresp.json" -w '%{http_code}' \
+    -H 'Content-Type: application/json' --data-binary @"$WORK/batch.json" "$BASE/v1/place/batch")
+[ "$code" = 200 ] || { cat "$WORK/batchresp.json" >&2; fail "batch status $code"; }
+n=$(grep -o '"status":200' "$WORK/batchresp.json" | wc -l)
+[ "$n" = 3 ] || fail "batch returned $n OK results, want 3"
+
+echo "fleet-smoke: metrics carry the pestod_fleet_* family"
+curl -fsS "$BASE/metrics" > "$WORK/metrics.txt"
+grep -q 'pestod_fleet_requests_total{endpoint="place",outcome="ok"} 2' "$WORK/metrics.txt" || fail "fleet request counter missing"
+grep -q 'pestod_fleet_batch_entries_total 3' "$WORK/metrics.txt" || fail "batch entries counter missing"
+grep -q 'pestod_fleet_batch_deduped_total 1' "$WORK/metrics.txt" || fail "batch dedupe counter missing"
+grep -q 'pestod_fleet_replica_up{replica="r0"} 1' "$WORK/metrics.txt" || fail "replica_up gauge missing"
+
+echo "fleet-smoke: SIGTERM drain"
+kill -TERM "$FLEET_PID"
+drain_ok=0
+for i in $(seq 1 100); do
+    if ! kill -0 "$FLEET_PID" 2>/dev/null; then drain_ok=1; break; fi
+    sleep 0.1
+done
+[ "$drain_ok" = 1 ] || fail "fleet pestod did not exit after SIGTERM"
+wait "$FLEET_PID" 2>/dev/null && status=0 || status=$?
+[ "$status" = 0 ] || { cat "$WORK/fleet.log" >&2; fail "fleet pestod exit status $status"; }
+grep -q 'drained cleanly' "$WORK/fleet.log" || fail "no clean-drain log line"
+
+# ---- leg 2: router over HTTP backends with a kill ----------------------
+echo "fleet-smoke: starting two standalone replicas + HTTP router"
+"$WORK/pestod" -addr "127.0.0.1:$BPORT1" -solvers 2 -budget 2s > "$WORK/b1.log" 2>&1 &
+B1_PID=$!; PIDS="$PIDS $B1_PID"; disown "$B1_PID"
+"$WORK/pestod" -addr "127.0.0.1:$BPORT2" -solvers 2 -budget 2s > "$WORK/b2.log" 2>&1 &
+B2_PID=$!; PIDS="$PIDS $B2_PID"; disown "$B2_PID"
+wait_healthy "http://127.0.0.1:$BPORT1" "$WORK/b1.log" "$B1_PID"
+wait_healthy "http://127.0.0.1:$BPORT2" "$WORK/b2.log" "$B2_PID"
+"$WORK/pestod" -addr "127.0.0.1:$RPORT" \
+    -fleet-backends "http://127.0.0.1:$BPORT1,http://127.0.0.1:$BPORT2" > "$WORK/router.log" 2>&1 &
+R_PID=$!; PIDS="$PIDS $R_PID"; disown "$R_PID"
+RBASE="http://127.0.0.1:$RPORT"
+wait_healthy "$RBASE" "$WORK/router.log" "$R_PID"
+
+echo "fleet-smoke: solve through the router"
+code=$(curl -sS -o "$WORK/r1.json" -w '%{http_code}' \
+    -H 'Content-Type: application/json' --data-binary @"$WORK/req.json" "$RBASE/v1/place")
+[ "$code" = 200 ] || { cat "$WORK/r1.json" >&2; fail "router solve status $code"; }
+
+echo "fleet-smoke: kill one replica, repeat request must fail over"
+kill -9 "$B1_PID" 2>/dev/null || true
+code=$(curl -sS -o "$WORK/r2.json" -w '%{http_code}' \
+    -H 'Content-Type: application/json' --data-binary @"$WORK/req.json" "$RBASE/v1/place")
+[ "$code" = 200 ] || { cat "$WORK/r2.json" >&2; fail "post-kill solve status $code"; }
+cmp -s "$WORK/r1.json" "$WORK/r2.json" || fail "failover response differs from original plan"
+
+echo "fleet-smoke: PASS"
