@@ -6,7 +6,7 @@ GO ?= go
 # `make verify` runs the full population.
 SWEEP ?= 1000
 
-.PHONY: build test check bench bench-lp fmt vet verify smoke obs-smoke fleet-smoke chaos bench-fleet
+.PHONY: build test check bench bench-lp bench-incr fmt vet verify smoke obs-smoke fleet-smoke chaos bench-fleet
 
 build:
 	$(GO) build ./...
@@ -32,12 +32,28 @@ bench-lp:
 	PESTO_BENCH_LP=1 $(GO) test -short -run TestLPRungRegression \
 		-bench BenchmarkLPRung -benchtime 3x -count=1 -v ./internal/placement/
 
+# The incremental-placement gate: re-times the warm re-place over the
+# benchmark edit trace and fails if it regresses >2x over the committed
+# BENCH_incr.json snapshot (which itself must claim >=10x over cold and
+# a worst-case makespan ratio <=1.05). Regenerate the snapshot with
+# `go test -bench BenchmarkIncrementalTrace -benchtime 3x ./internal/placement/`.
+bench-incr:
+	PESTO_BENCH_INCR=1 $(GO) test -short -run TestIncrRegression \
+		-count=1 -v ./internal/placement/
+
+# Length of the incremental edit-trace sweep (one seeded trace replayed
+# through placement.Incremental with per-step invariant, quality and
+# byte-determinism oracles). Plain `go test` uses a short default;
+# `make verify` replays the full trace.
+INCR_STEPS ?= 500
+
 # The differential verification sweep: $(SWEEP) seeded instances across
 # baselines, the placement ladder, replanning, both execution engines
 # and the k-GPU/multi-host variants, each held to the independent
-# invariant checker and the LP-relaxation lower bound.
+# invariant checker and the LP-relaxation lower bound, plus the
+# $(INCR_STEPS)-step incremental edit-trace sweep.
 verify:
-	PESTO_SWEEP=$(SWEEP) $(GO) test ./internal/verify/ ./internal/gen/ -count=1 -timeout 30m -run 'TestSweep|TestGenerate' -v
+	PESTO_SWEEP=$(SWEEP) PESTO_INCR_STEPS=$(INCR_STEPS) $(GO) test ./internal/verify/ ./internal/gen/ -count=1 -timeout 60m -run 'TestSweep|TestGenerate' -v
 
 # End-to-end smoke test of the pestod daemon: build, serve, solve,
 # cache-hit byte-identity, /metrics scrape, SIGTERM drain.

@@ -14,7 +14,10 @@
 // Endpoints:
 //
 //	POST /v1/place   solve (or replay) a placement; body {"graph":…,"options":…}
-//	POST /v1/trace   same body; returns a Chrome Trace Event timeline
+//	POST /v1/place/delta   incremental re-place of an edited graph; body
+//	                 {"baseFingerprint":…,"edits":[…],"options":…} — the base
+//	                 must have been placed here before (404 otherwise)
+//	POST /v1/trace   same body as /v1/place; returns a Chrome Trace Event timeline
 //	GET  /v1/requests/{id}/spans   span dump of a recent request by X-Request-ID
 //	GET  /healthz    liveness + queue/cache gauges
 //	GET  /metrics    Prometheus text exposition

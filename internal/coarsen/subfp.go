@@ -1,0 +1,130 @@
+package coarsen
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"sort"
+
+	"pesto/internal/graph"
+)
+
+// groupFingerprintVersion is folded into every group sub-fingerprint so
+// the hash changes whenever the canonical serialization below does. A
+// stale sub-fingerprint would silently poison incremental-plan reuse
+// (a dirty group judged clean keeps its old devices), so the version
+// bump is the only safe way to change what gets hashed.
+const groupFingerprintVersion = "pesto/coarsen-groupfp/v1\n"
+
+// GroupFingerprints returns one stable sub-fingerprint per coarse
+// group, indexed by coarse node ID. g must be the original graph the
+// Result was computed from.
+//
+// The fingerprints are the foundation of incremental placement
+// (internal/incr): a group whose sub-fingerprint is unchanged between
+// two versions of a graph may keep its prior device assignment. See
+// GroupFingerprint for the stability guarantees.
+func (r *Result) GroupFingerprints(g *graph.Graph) [][32]byte {
+	out := make([][32]byte, len(r.Members))
+	for c := range r.Members {
+		out[c] = GroupFingerprint(g, r.Members[c])
+	}
+	return out
+}
+
+// GroupFingerprint hashes the placement-relevant content of one member
+// set of g. The serialization is positional, never absolute: nodes are
+// identified by their index within the (ordered) member slice, and
+// boundary edges record only the member-side endpoint, a direction and
+// the tensor size. Absolute NodeIDs are excluded on purpose — an edit
+// elsewhere in the graph (which renumbers or adds nodes) leaves an
+// untouched group's fingerprint intact, which is exactly the property
+// incremental placement reuses.
+//
+// Two member sets share a fingerprint exactly when, position by
+// position, the node fields (kind, cost, memory, colocation group,
+// layer, branch) are equal, the internal edge sets (as positional
+// pairs with bytes) are equal, and each member's multiset of boundary
+// edges (direction + bytes) is equal. Members outside the graph are
+// skipped deterministically, so the function never panics on
+// malformed input (the fuzz targets hold it to that).
+func GroupFingerprint(g *graph.Graph, members []graph.NodeID) [32]byte {
+	h := sha256.New()
+	h.Write([]byte(groupFingerprintVersion))
+	pos := make(map[graph.NodeID]int, len(members))
+	for i, id := range members {
+		if _, ok := g.Node(id); ok {
+			pos[id] = i
+		}
+	}
+	writeGroupU64(h, uint64(len(members)))
+	type internalEdge struct {
+		from, to int
+		bytes    int64
+	}
+	var internal []internalEdge
+	for i, id := range members {
+		n, ok := g.Node(id)
+		if !ok {
+			// Deterministic marker for an out-of-range member; the
+			// group can never be judged clean against a real one.
+			writeGroupU64(h, ^uint64(0))
+			continue
+		}
+		writeGroupU64(h, uint64(i))
+		writeGroupU64(h, uint64(n.Kind))
+		writeGroupU64(h, uint64(n.Cost))
+		writeGroupU64(h, uint64(n.Memory))
+		writeGroupU64(h, uint64(len(n.Coloc)))
+		h.Write([]byte(n.Coloc))
+		writeGroupU64(h, uint64(int64(n.Layer)))
+		writeGroupU64(h, uint64(int64(n.Branch)))
+		// Boundary edges: per member, sorted multisets of (bytes) for
+		// each direction. The far endpoint's identity is outside the
+		// group's content by design.
+		var in, out []int64
+		for _, e := range g.Pred(id) {
+			if _, inside := pos[e.From]; !inside {
+				in = append(in, e.Bytes)
+			}
+		}
+		for _, e := range g.Succ(id) {
+			if to, inside := pos[e.To]; inside {
+				internal = append(internal, internalEdge{from: i, to: to, bytes: e.Bytes})
+			} else {
+				out = append(out, e.Bytes)
+			}
+		}
+		sort.Slice(in, func(a, b int) bool { return in[a] < in[b] })
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		writeGroupU64(h, uint64(len(in)))
+		for _, b := range in {
+			writeGroupU64(h, uint64(b))
+		}
+		writeGroupU64(h, uint64(len(out)))
+		for _, b := range out {
+			writeGroupU64(h, uint64(b))
+		}
+	}
+	sort.Slice(internal, func(a, b int) bool {
+		if internal[a].from != internal[b].from {
+			return internal[a].from < internal[b].from
+		}
+		return internal[a].to < internal[b].to
+	})
+	writeGroupU64(h, uint64(len(internal)))
+	for _, e := range internal {
+		writeGroupU64(h, uint64(e.from))
+		writeGroupU64(h, uint64(e.to))
+		writeGroupU64(h, uint64(e.bytes))
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func writeGroupU64(h hash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}

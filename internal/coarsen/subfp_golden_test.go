@@ -1,0 +1,60 @@
+package coarsen
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pesto/internal/models"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGroupFingerprintsGolden pins the per-group sub-fingerprints of
+// the example models. The fingerprints are the clean/dirty judgment of
+// incremental placement — a silent change to the canonical
+// serialization would let an edited group be judged clean and keep
+// stale devices — so any intentional change to what gets hashed must
+// bump groupFingerprintVersion and regenerate this file with
+// `go test ./internal/coarsen/ -run Golden -update`, and the diff
+// reviewed like code.
+func TestGroupFingerprintsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# per-group sub-fingerprints, %s", groupFingerprintVersion)
+	variants := models.SmallVariants()
+	for _, v := range variants {
+		g, err := v.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", v.Name, err)
+		}
+		res, err := Coarsen(g, Options{Target: 64})
+		if err != nil {
+			t.Fatalf("%s: coarsen: %v", v.Name, err)
+		}
+		fps := res.GroupFingerprints(g)
+		fmt.Fprintf(&buf, "%s nodes=%d groups=%d\n", v.Name, g.NumNodes(), len(fps))
+		for c, fp := range fps {
+			fmt.Fprintf(&buf, "  %3d %s\n", c, hex.EncodeToString(fp[:]))
+		}
+	}
+	golden := filepath.Join("testdata", "groupfp.golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("group sub-fingerprints changed; if the serialization change is intentional, bump groupFingerprintVersion and run with -update.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,196 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pesto/internal/graph"
+	"pesto/internal/incr"
+)
+
+// EditTraceConfig parameterizes the seeded edit-trace generator. The
+// zero value of every field means "use the default"; equal (base,
+// config) pairs generate byte-identical traces.
+type EditTraceConfig struct {
+	// Seed drives every random choice.
+	Seed int64
+	// Steps is the trace length; zero means 32.
+	Steps int
+}
+
+// EditTrace generates a deterministic trace of Steps edits against
+// base, modeling a developer iterating on a model: mostly cost/tensor
+// reweights (re-profiled operations), with occasional op insertions,
+// deletions, edge rewires and grown layers. Each edit is valid
+// against the graph produced by applying the previous ones, so the
+// whole trace applies cleanly with incr.ApplyAll (or one step at a
+// time with incr.Apply).
+func EditTrace(base *graph.Graph, cfg EditTraceConfig) ([]incr.Edit, error) {
+	if cfg.Steps <= 0 {
+		cfg.Steps = 32
+	}
+	if base == nil || base.NumNodes() == 0 {
+		return nil, fmt.Errorf("edit trace: empty base graph")
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	cur := base
+	edits := make([]incr.Edit, 0, cfg.Steps)
+	for len(edits) < cfg.Steps {
+		e := nextEdit(r, cur)
+		next, _, err := incr.Apply(cur, e)
+		if err != nil {
+			// The pickers only propose valid edits; a rejection here
+			// would be a generator bug worth surfacing, not skipping.
+			return nil, fmt.Errorf("edit trace step %d (%s): %w", len(edits), e.Kind, err)
+		}
+		edits = append(edits, e)
+		cur = next
+	}
+	return edits, nil
+}
+
+// nextEdit proposes one valid edit for g. Kind mix: ~40% node
+// reweight, ~15% edge reweight, ~15% insert, ~15% rewire, ~10%
+// delete, ~5% grow-layer — with deterministic fallbacks to reweight
+// when a structural pick finds no valid target.
+func nextEdit(r *rand.Rand, g *graph.Graph) incr.Edit {
+	roll := r.Intn(100)
+	switch {
+	case roll < 40:
+		return reweightEdit(r, g)
+	case roll < 55:
+		if e, ok := reweightEdgeEdit(r, g); ok {
+			return e
+		}
+		return reweightEdit(r, g)
+	case roll < 70:
+		if e, ok := insertEdit(r, g); ok {
+			return e
+		}
+		return reweightEdit(r, g)
+	case roll < 85:
+		if e, ok := rewireEdit(r, g); ok {
+			return e
+		}
+		return reweightEdit(r, g)
+	case roll < 95:
+		if e, ok := deleteEdit(r, g); ok {
+			return e
+		}
+		return reweightEdit(r, g)
+	default:
+		return incr.Edit{
+			Kind:   incr.KindGrowLayer,
+			Width:  1 + r.Intn(4),
+			CostNs: randCost(r),
+			Memory: randMem(r),
+			Bytes:  randBytes(r),
+		}
+	}
+}
+
+func reweightEdit(r *rand.Rand, g *graph.Graph) incr.Edit {
+	id := graph.NodeID(r.Intn(g.NumNodes()))
+	n, _ := g.Node(id)
+	// Scale cost by 0.5x–2x, as a re-profile would.
+	cost := int64(n.Cost) * int64(50+r.Intn(151)) / 100
+	if cost <= 0 {
+		cost = int64(time.Microsecond)
+	}
+	e := incr.Edit{Kind: incr.KindReweight, Node: int(id), CostNs: cost}
+	if r.Intn(4) == 0 && n.Memory > 0 {
+		mem := n.Memory * int64(50+r.Intn(151)) / 100
+		if mem <= 0 {
+			mem = 1
+		}
+		e.Memory = mem
+	}
+	return e
+}
+
+func reweightEdgeEdit(r *rand.Rand, g *graph.Graph) (incr.Edit, bool) {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return incr.Edit{}, false
+	}
+	e := edges[r.Intn(len(edges))]
+	b := e.Bytes * int64(50+r.Intn(151)) / 100
+	if b <= 0 {
+		b = 64
+	}
+	return incr.Edit{Kind: incr.KindReweightEdge, From: int(e.From), To: int(e.To), Bytes: b}, true
+}
+
+func insertEdit(r *rand.Rand, g *graph.Graph) (incr.Edit, bool) {
+	p := graph.NodeID(r.Intn(g.NumNodes()))
+	e := incr.Edit{
+		Kind:   incr.KindInsert,
+		Preds:  []int{int(p)},
+		CostNs: randCost(r),
+		Memory: randMem(r),
+		Bytes:  randBytes(r),
+	}
+	// Half the time, splice the new op into an existing edge p→s: a
+	// direct successor of p can never reach p, so the insert is
+	// always acyclic.
+	if succs := g.Succ(p); len(succs) > 0 && r.Intn(2) == 0 {
+		e.Succs = []int{int(succs[r.Intn(len(succs))].To)}
+	}
+	return e, true
+}
+
+func rewireEdit(r *rand.Rand, g *graph.Graph) (incr.Edit, bool) {
+	edges := g.Edges()
+	if len(edges) == 0 || g.NumNodes() < 3 {
+		return incr.Edit{}, false
+	}
+	for try := 0; try < 8; try++ {
+		e := edges[r.Intn(len(edges))]
+		nf := graph.NodeID(r.Intn(g.NumNodes()))
+		if nf == e.From || nf == e.To {
+			continue
+		}
+		if _, dup := g.EdgeBetween(nf, e.To); dup {
+			continue
+		}
+		if g.Reachable(e.To, nf) {
+			continue
+		}
+		return incr.Edit{Kind: incr.KindRewire, From: int(e.From), To: int(e.To), NewFrom: int(nf)}, true
+	}
+	return incr.Edit{}, false
+}
+
+func deleteEdit(r *rand.Rand, g *graph.Graph) (incr.Edit, bool) {
+	n := g.NumNodes()
+	if n < 4 {
+		return incr.Edit{}, false
+	}
+	start := r.Intn(n)
+	for off := 0; off < n; off++ {
+		id := graph.NodeID((start + off) % n)
+		nd, _ := g.Node(id)
+		if nd.Kind != graph.KindGPU {
+			continue
+		}
+		// Bridging a high-degree node would densify the graph; skip.
+		if g.InDegree(id)*g.OutDegree(id) > 16 {
+			continue
+		}
+		return incr.Edit{Kind: incr.KindDelete, Node: int(id)}, true
+	}
+	return incr.Edit{}, false
+}
+
+func randCost(r *rand.Rand) int64 {
+	return int64(5*time.Microsecond) + r.Int63n(int64(495*time.Microsecond))
+}
+
+func randMem(r *rand.Rand) int64 {
+	return 1<<20 + r.Int63n(7<<20)
+}
+
+func randBytes(r *rand.Rand) int64 {
+	return 1<<10 + r.Int63n(63<<10)
+}

@@ -1,0 +1,57 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"pesto/internal/incr"
+)
+
+// TestGenerateEditTraceDeterministic holds the edit-trace generator to
+// the package's determinism contract: equal (base, config) pairs
+// produce identical traces, every trace applies cleanly, and the
+// resulting graphs are byte-identical across runs.
+func TestGenerateEditTraceDeterministic(t *testing.T) {
+	base, err := Generate(Config{Family: Layered, Nodes: 48, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := EditTrace(base, EditTraceConfig{Seed: 11, Steps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EditTrace(base, EditTraceConfig{Seed: 11, Steps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	kinds := map[string]int{}
+	for _, e := range a {
+		kinds[e.Kind]++
+	}
+	// The mix must exercise the structural kinds, not just reweights.
+	for _, k := range []string{incr.KindInsert, incr.KindReweight, incr.KindRewire} {
+		if kinds[k] == 0 {
+			t.Fatalf("100-step trace has no %q edits (mix %v)", k, kinds)
+		}
+	}
+	ga, _, err := incr.ApplyAll(base, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, _, err := incr.ApplyAll(base, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ga.Validate(); err != nil {
+		t.Fatalf("trace result invalid: %v", err)
+	}
+	if ga.Fingerprint() != gb.Fingerprint() {
+		t.Fatal("trace application not byte-deterministic")
+	}
+	if c, err := EditTrace(base, EditTraceConfig{Seed: 12, Steps: 100}); err != nil || reflect.DeepEqual(a, c) {
+		t.Fatalf("different seed should differ (err %v)", err)
+	}
+}

@@ -115,6 +115,7 @@ var (
 	ErrUnknownNode = errors.New("unknown node id")
 	ErrSelfLoop    = errors.New("self loop")
 	ErrDupEdge     = errors.New("duplicate edge")
+	ErrUnknownEdge = errors.New("unknown edge")
 )
 
 // AddNode appends an operation and returns its assigned ID. The ID field
@@ -268,6 +269,59 @@ func (g *Graph) EdgeBetween(from, to NodeID) (Edge, bool) {
 		}
 	}
 	return Edge{}, false
+}
+
+// SetEdgeBytes overwrites the tensor size of an existing edge. The
+// incremental edit machinery uses this to reweight communication
+// without rebuilding the graph.
+func (g *Graph) SetEdgeBytes(from, to NodeID, bytes int64) error {
+	if !g.valid(from) || !g.valid(to) {
+		return fmt.Errorf("edge (%d,%d): %w", from, to, ErrUnknownNode)
+	}
+	found := false
+	for i := range g.succ[from] {
+		if g.succ[from][i].To == to {
+			g.succ[from][i].Bytes = bytes
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("edge (%d,%d): %w", from, to, ErrUnknownEdge)
+	}
+	for i := range g.pred[to] {
+		if g.pred[to][i].From == from {
+			g.pred[to][i].Bytes = bytes
+			break
+		}
+	}
+	return nil
+}
+
+// RemoveEdge deletes the precedence edge (from, to). Removing an edge
+// can never introduce a cycle, so no revalidation is needed.
+func (g *Graph) RemoveEdge(from, to NodeID) error {
+	if !g.valid(from) || !g.valid(to) {
+		return fmt.Errorf("edge (%d,%d): %w", from, to, ErrUnknownNode)
+	}
+	found := false
+	for i, e := range g.succ[from] {
+		if e.To == to {
+			g.succ[from] = append(g.succ[from][:i], g.succ[from][i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("edge (%d,%d): %w", from, to, ErrUnknownEdge)
+	}
+	for i, e := range g.pred[to] {
+		if e.From == from {
+			g.pred[to] = append(g.pred[to][:i], g.pred[to][i+1:]...)
+			break
+		}
+	}
+	return nil
 }
 
 // Roots returns the IDs of nodes without predecessors.

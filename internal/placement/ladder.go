@@ -51,6 +51,10 @@ const (
 	// StageReplan marks plans produced by Replan after a device
 	// failure.
 	StageReplan
+	// StageIncremental marks plans produced by Incremental's warm
+	// re-place path: a prior plan reused as a partial assignment with
+	// only the dirty region re-solved.
+	StageIncremental
 )
 
 // String implements fmt.Stringer.
@@ -64,6 +68,8 @@ func (s Stage) String() string {
 		return "heuristic-fallback"
 	case StageReplan:
 		return "replan"
+	case StageIncremental:
+		return "incremental"
 	default:
 		return fmt.Sprintf("Stage(%d)", int(s))
 	}
@@ -115,6 +121,10 @@ type Provenance struct {
 	// time. It answers "where did the milliseconds go" where Attempts
 	// answers "what went wrong".
 	Stages []StageReport
+	// Incremental records the warm re-place accounting when the plan
+	// came through Incremental (on both its warm and cold-fallback
+	// paths); nil for ordinary cold solves.
+	Incremental *IncrementalInfo
 }
 
 // Err returns nil for a non-degraded result, and otherwise an error

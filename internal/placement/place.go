@@ -133,6 +133,18 @@ type Options struct {
 	// that shrinkage and to cross-check the two formulations against
 	// each other.
 	PerOpModel bool
+	// IncrDirtyThreshold is the dirty-group fraction above which
+	// Incremental abandons the warm re-place and falls back to a cold
+	// solve: past it, re-solving the dirty region costs about as much
+	// as solving fresh and the reuse no longer pays. Zero means 0.5;
+	// negative disables the threshold (always try warm).
+	IncrDirtyThreshold float64
+	// IncrMaxChain bounds how many warm re-places may chain off one
+	// cold solve before Incremental forces a cold refresh. Each warm
+	// step inherits the previous plan, so quality drift compounds, and
+	// a periodic cold solve re-anchors it. Zero means 9; negative
+	// disables the bound.
+	IncrMaxChain int
 	// Verify re-proves every returned plan against the independent
 	// invariant checker (internal/verify) — precedence, colocation,
 	// affinity, memory, link discipline and makespan accounting — and
@@ -174,6 +186,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StageBackoff <= 0 {
 		o.StageBackoff = 5 * time.Millisecond
+	}
+	if o.IncrDirtyThreshold == 0 {
+		o.IncrDirtyThreshold = 0.5
+	}
+	if o.IncrMaxChain == 0 {
+		o.IncrMaxChain = 9
 	}
 	return o
 }
@@ -632,6 +650,13 @@ type heuristic struct {
 	// than the counter itself. Nil disables recording.
 	rec *obs.Recorder
 
+	// movable, when non-nil, restricts refinement to the coarse nodes
+	// marked true: only moves whose flip set touches a movable node
+	// are enumerated. Incremental placement uses it to hold clean
+	// groups at their inherited devices while the dirty region is
+	// re-solved. Nil (the cold-solve default) means every node moves.
+	movable []bool
+
 	// Global winner at original granularity (any source: seeds, ILP
 	// roundings, list-scheduling warm starts, refinement moves).
 	bestDev    []sim.DeviceID
@@ -643,16 +668,16 @@ type heuristic struct {
 	coarseBestObj float64
 }
 
-// seedAssignments evaluates a few deterministic placements before any
-// search runs: all-on-GPU-0, alternation by topological index (two
-// phases), a contiguous compute-balanced split (the Expert shape), and
-// a layer-contiguous split. Each goes through colocation and memory
-// repair and both schedule disciplines; the seeds are scored
-// concurrently and recorded in submission order.
-func (h *heuristic) seedAssignments(ctx context.Context) {
+// seedCandidates builds the deterministic warm-start placements at this
+// heuristic's coarse granularity: all-on-GPU-0, alternation by
+// topological index (two phases), a contiguous compute-balanced split
+// (the Expert shape), and a layer-contiguous split. seedAssignments
+// scores them for the cold pipeline; the incremental path blends them
+// onto its dirty region as extra restart basins.
+func (h *heuristic) seedCandidates() [][]sim.DeviceID {
 	order, err := h.cg.TopoSort()
 	if err != nil {
-		return
+		return nil
 	}
 	gpus := h.sys.GPUs()
 	k := len(gpus)
@@ -696,7 +721,7 @@ func (h *heuristic) seedAssignments(ctx context.Context) {
 			maxLayer = nd.Layer
 		}
 	}
-	seeds := [][]sim.DeviceID{
+	return [][]sim.DeviceID{
 		mk(func(int, graph.NodeID) int { return 0 }),
 		mk(func(pos int, _ graph.NodeID) int { return pos % k }),
 		mk(func(pos int, _ graph.NodeID) int { return (pos / 2) % k }),
@@ -707,6 +732,17 @@ func (h *heuristic) seedAssignments(ctx context.Context) {
 			}
 			return nodes[id].Layer * k / (maxLayer + 1)
 		}),
+	}
+}
+
+// seedAssignments evaluates the seedCandidates placements before any
+// search runs. Each goes through colocation and memory repair and both
+// schedule disciplines; the seeds are scored concurrently and recorded
+// in submission order.
+func (h *heuristic) seedAssignments(ctx context.Context) {
+	seeds := h.seedCandidates()
+	if seeds == nil {
+		return
 	}
 	for _, assign := range seeds {
 		h.repairColocAssign(assign)
@@ -1088,6 +1124,21 @@ func (h *heuristic) refine(ctx context.Context) {
 	sort.Strings(keys)
 	for _, k := range keys {
 		moves = append(moves, groups[k])
+	}
+	if h.movable != nil {
+		// Restricted climb: a move survives when any node it flips is
+		// movable (a colocation group straddling the dirty boundary
+		// must still move wholesale).
+		kept := moves[:0]
+		for _, mv := range moves {
+			for _, id := range mv {
+				if int(id) < len(h.movable) && h.movable[id] {
+					kept = append(kept, mv)
+					break
+				}
+			}
+		}
+		moves = kept
 	}
 
 	h.bottomLevels() // warm the lazy priority cache before fanning out

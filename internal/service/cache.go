@@ -138,6 +138,21 @@ func (c *planCache) wait(ctx context.Context, e *cacheEntry, hit bool) ([]byte, 
 	}
 }
 
+// lookup returns the completed body stored under key, if any,
+// refreshing its LRU position. Unlike getOrFill it never waits on an
+// in-flight fill and never starts one — the delta near-hit check uses
+// it to reuse an existing cold solve without blocking.
+func (c *planCache) lookup(key [32]byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || !e.done || e.err != nil {
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.body, true
+}
+
 // peek reports whether key is cached and filled, without touching LRU
 // order. The health endpoint and tests use it.
 func (c *planCache) peek(key [32]byte) bool {

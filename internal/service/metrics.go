@@ -31,6 +31,16 @@ type metrics struct {
 	// solveHist[stage] is the solve-latency histogram split by the
 	// ladder rung that served the plan ("error" for failed solves).
 	solveHist map[string]*solveHistogram
+	// incrSolves[path] counts /v1/place/delta solves by how they were
+	// answered: "warm" (partial re-place), "cold" (fallback solve),
+	// "near-hit" (an exact cold solve of the edited graph was already
+	// cached).
+	incrSolves map[string]int64
+	// incrDirtyGroups / incrGroups total the coarse groups re-solved
+	// vs. processed by warm and cold delta solves; their ratio is the
+	// fleet-wide dirty fraction.
+	incrDirtyGroups int64
+	incrGroups      int64
 	// Solver-progress totals harvested from per-request recorders.
 	bnbNodes   int64
 	lpPivots   int64
@@ -58,7 +68,18 @@ func newMetrics() *metrics {
 		cacheEvents: make(map[string]int64),
 		planStages:  make(map[string]int64),
 		solveHist:   make(map[string]*solveHistogram),
+		incrSolves:  make(map[string]int64),
 	}
+}
+
+// incremental records one delta solve outcome and its coarse-group
+// accounting.
+func (m *metrics) incremental(path string, dirty, total int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.incrSolves[path]++
+	m.incrDirtyGroups += dirty
+	m.incrGroups += total
 }
 
 func (m *metrics) request(endpoint, outcome string) {
@@ -147,6 +168,18 @@ func (m *metrics) write(w io.Writer) {
 	for _, st := range sortedKeys(m.planStages) {
 		fmt.Fprintf(w, "pestod_plans_total{stage=%q} %d\n", st, m.planStages[st])
 	}
+
+	fmt.Fprintln(w, "# HELP pestod_incremental_solves_total Delta solves by path (warm, cold, near-hit).")
+	fmt.Fprintln(w, "# TYPE pestod_incremental_solves_total counter")
+	for _, p := range sortedKeys(m.incrSolves) {
+		fmt.Fprintf(w, "pestod_incremental_solves_total{path=%q} %d\n", p, m.incrSolves[p])
+	}
+	fmt.Fprintln(w, "# HELP pestod_incremental_dirty_groups_total Coarse groups re-solved by delta solves.")
+	fmt.Fprintln(w, "# TYPE pestod_incremental_dirty_groups_total counter")
+	fmt.Fprintf(w, "pestod_incremental_dirty_groups_total %d\n", m.incrDirtyGroups)
+	fmt.Fprintln(w, "# HELP pestod_incremental_groups_total Coarse groups processed by delta solves.")
+	fmt.Fprintln(w, "# TYPE pestod_incremental_groups_total counter")
+	fmt.Fprintf(w, "pestod_incremental_groups_total %d\n", m.incrGroups)
 
 	fmt.Fprintln(w, "# HELP pestod_queue_depth Requests waiting for a solver slot.")
 	fmt.Fprintln(w, "# TYPE pestod_queue_depth gauge")

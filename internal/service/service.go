@@ -83,6 +83,11 @@ type Config struct {
 	// SpanHistory bounds how many recent requests keep their span dumps
 	// for GET /v1/requests/{id}/spans; zero means 64.
 	SpanHistory int
+	// BaseGraphEntries bounds the resident base-graph store backing
+	// POST /v1/place/delta; zero means 128. Evicted bases make deltas
+	// against them 404 (clients fall back to a full place) — plans are
+	// unaffected, they live in the plan cache.
+	BaseGraphEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +120,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.BaseGraphEntries <= 0 {
+		c.BaseGraphEntries = 128
+	}
 	return c
 }
 
@@ -123,6 +131,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	cache *planCache
+	bases *baseStore
 	admit *admission
 	met   *metrics
 	mux   *http.ServeMux
@@ -168,6 +177,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		cache: newPlanCache(cfg.CacheEntries),
+		bases: newBaseStore(cfg.BaseGraphEntries),
 		admit: newAdmission(cfg.MaxConcurrentSolves, cfg.QueueDepth),
 		met:   newMetrics(),
 		mux:   http.NewServeMux(),
@@ -178,6 +188,7 @@ func New(cfg Config) *Server {
 	s.met.inFlight = s.admit.inFlight
 	s.met.cacheEntries = func() int64 { return int64(s.cache.len()) }
 	s.mux.HandleFunc("POST /v1/place", s.handlePlace)
+	s.mux.HandleFunc("POST /v1/place/delta", s.handleDelta)
 	s.mux.HandleFunc("POST /v1/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/cache/export", s.handleCacheExport)
 	s.mux.HandleFunc("POST /v1/cache/import", s.handleCacheImport)
@@ -264,6 +275,10 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		finish(s.httpError(w, "place", rid, err))
 		return
 	}
+	// A successfully placed graph becomes a valid base for
+	// POST /v1/place/delta — hits included, so residency follows
+	// traffic across restarts of the client, not just cold solves.
+	s.registerBase(req.Graph.Fingerprint(), req.Graph, body)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Pesto-Cache", cacheStatus(hit))
 	w.Write(body)
@@ -429,6 +444,8 @@ func (s *Server) httpError(w http.ResponseWriter, endpoint, rid string, err erro
 		code, outcome = http.StatusBadRequest, "bad_request"
 	case errors.Is(err, ErrTooLarge):
 		code, outcome = http.StatusRequestEntityTooLarge, "too_large"
+	case errors.Is(err, ErrUnknownBase):
+		code, outcome = http.StatusNotFound, "unknown_base"
 	case errors.Is(err, ErrSaturated):
 		code, outcome = http.StatusTooManyRequests, "saturated"
 	case errors.Is(err, ErrQueueTimeout):

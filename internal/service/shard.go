@@ -74,7 +74,11 @@ func (s *Server) handleCacheExport(w http.ResponseWriter, r *http.Request) {
 // handleCacheImport serves POST /v1/cache/import: bulk-install
 // previously exported entries. Existing keys are skipped, malformed
 // entries are rejected wholesale with 400 (a warm-sync peer speaks
-// this schema exactly or not at all).
+// this schema exactly or not at all). Every body must embed the cache
+// key it is being installed under: a response produced for one key —
+// say a delta plan, keyed in the delta namespace — can never be
+// re-filed under another key (the cold entry it would shadow), whether
+// by a buggy peer or a malicious one.
 func (s *Server) handleCacheImport(w http.ResponseWriter, r *http.Request) {
 	var in CacheExport
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes*4)
@@ -90,6 +94,14 @@ func (s *Server) handleCacheImport(w http.ResponseWriter, r *http.Request) {
 		if err1 != nil || err2 != nil || len(e.Body) == 0 {
 			s.reject(w, "cache_import", "", http.StatusBadRequest, "bad_request",
 				fmt.Errorf("entry %d malformed: %w", i, ErrBadRequest))
+			return
+		}
+		var emb struct {
+			CacheKey string `json:"cacheKey"`
+		}
+		if err := json.Unmarshal(e.Body, &emb); err != nil || emb.CacheKey != e.Key {
+			s.reject(w, "cache_import", "", http.StatusBadRequest, "bad_request",
+				fmt.Errorf("entry %d: body's cacheKey does not match install key %s: %w", i, e.Key, ErrBadRequest))
 			return
 		}
 		if s.cache.install(key, fp, []byte(e.Body)) {

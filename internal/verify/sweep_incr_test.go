@@ -1,0 +1,220 @@
+package verify_test
+
+// The incremental differential sweep: one long seeded edit trace is
+// replayed step by step through placement.Incremental, and every step
+// is held to three oracles:
+//
+//   - invariant cleanliness: the warm (or fallen-back) plan passes the
+//     independent checker against the *edited* graph;
+//   - quality: the incremental makespan stays within 5% of a
+//     from-scratch cold solve of the same graph;
+//   - determinism: the plan bytes are identical at worker-pool widths
+//     1, 2 and 8 (the repo's byte-determinism contract — Parallel is
+//     what fans work across GOMAXPROCS).
+//
+// Trace length is PESTO_INCR_STEPS (default 60 so plain `go test`
+// stays fast); `make verify` runs the full 500-step trace.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"pesto/internal/gen"
+	"pesto/internal/graph"
+	"pesto/internal/incr"
+	"pesto/internal/placement"
+	"pesto/internal/sim"
+	"pesto/internal/verify"
+)
+
+// incrSteps reads PESTO_INCR_STEPS; the default keeps tier-1 runs fast.
+func incrSteps(t *testing.T) int {
+	if s := os.Getenv("PESTO_INCR_STEPS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad PESTO_INCR_STEPS=%q", s)
+		}
+		return n
+	}
+	return 60
+}
+
+func TestSweepEditTrace(t *testing.T) {
+	steps := incrSteps(t)
+	base, err := gen.Generate(gen.Config{Family: gen.Layered, Nodes: 48, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edits, err := gen.EditTrace(base, gen.EditTraceConfig{Seed: 17, Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sim.NewSystem(2, sweepGPUMem)
+	opts := placement.Options{
+		ILPTimeLimit: 5 * time.Second,
+		StartStage:   placement.StageRefine,
+		Seed:         1,
+		Verify:       true,
+	}
+	ctx := context.Background()
+
+	cold, err := placement.PlaceMultiGPU(ctx, base, sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := placement.PriorPlacement{Graph: base, Plan: cold.Plan}
+	cur := base
+	warm, fallbacks := 0, map[string]int{}
+	for step, e := range edits {
+		next, m, err := incr.Apply(cur, e)
+		if err != nil {
+			t.Fatalf("step %d (%s): apply: %v", step, e.Kind, err)
+		}
+		prior.NodeMap = m
+
+		// Determinism oracle: byte-identical plans at widths 1, 2, 8.
+		var res *placement.Result
+		var want []byte
+		for _, par := range []int{1, 2, 8} {
+			o := opts
+			o.Parallel = par
+			r, err := placement.Incremental(ctx, next, sys, prior, o)
+			if err != nil {
+				t.Fatalf("step %d parallel %d: %v", step, par, err)
+			}
+			b, err := json.Marshal(r.Plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				res, want = r, b
+			} else if !bytes.Equal(want, b) {
+				t.Fatalf("step %d: plan bytes differ between parallel 1 and %d", step, par)
+			}
+		}
+		info := res.Provenance.Incremental
+		if info == nil {
+			t.Fatalf("step %d: no incremental provenance", step)
+		}
+		if info.ColdFallback {
+			fallbacks[info.FallbackReason]++
+		} else {
+			warm++
+		}
+
+		// Invariant oracle: the served plan passes the independent
+		// checker against the edited graph.
+		chk, err := verify.Check(next, sys, res.Plan)
+		if err != nil {
+			t.Fatalf("step %d (%s): invariant check: %v", step, e.Kind, err)
+		}
+
+		// Quality oracle: within 5% of a from-scratch cold solve.
+		coldStep, err := placement.PlaceMultiGPU(ctx, next, sys, opts)
+		if err != nil {
+			t.Fatalf("step %d: cold: %v", step, err)
+		}
+		if os.Getenv("PESTO_INCR_DEBUG") != "" {
+			var gpuTotal time.Duration
+			for _, nd := range next.Nodes() {
+				if nd.Kind == graph.KindGPU {
+					gpuTotal += nd.Cost
+				}
+			}
+			lb := gpuTotal / 2
+			if cp, _, cperr := next.CriticalPath(); cperr == nil && cp > lb {
+				lb = cp
+			}
+			t.Logf("step %d (%s): warm=%v depth=%d mk=%v cold=%v ratio=%.4f q=%.4f coldq=%.4f anchor=%.4f",
+				step, e.Kind, !info.ColdFallback, info.ChainDepth, chk.Makespan, coldStep.SimulatedMakespan,
+				float64(chk.Makespan)/float64(coldStep.SimulatedMakespan),
+				float64(chk.Makespan)/float64(lb),
+				float64(coldStep.SimulatedMakespan)/float64(lb),
+				info.AnchorQuality)
+		}
+		if float64(chk.Makespan) > 1.05*float64(coldStep.SimulatedMakespan) {
+			t.Fatalf("step %d (%s): incremental makespan %v > 1.05x cold %v (warm=%v reason=%q)",
+				step, e.Kind, chk.Makespan, coldStep.SimulatedMakespan, !info.ColdFallback, info.FallbackReason)
+		}
+
+		cur = next
+		prior = placement.PriorPlacement{Graph: cur, Plan: res.Plan, NodeMap: nil,
+			ChainDepth: info.ChainDepth, AnchorQuality: info.AnchorQuality}
+	}
+	if warm == 0 {
+		t.Fatalf("no step took the warm path (fallbacks %v)", fallbacks)
+	}
+	t.Logf("edit-trace sweep: %d steps, %d warm, fallbacks %v", steps, warm, fallbacks)
+}
+
+// TestSweepEditTraceReplay reruns a single step range for debugging:
+//
+//	PESTO_INCR_STEPS=500 PESTO_INCR_REPLAY=137 go test ./internal/verify/ -run TestSweepEditTraceReplay -v
+//
+// replays the trace silently up to the named step and then runs the
+// full oracle set on it alone.
+func TestSweepEditTraceReplay(t *testing.T) {
+	s := os.Getenv("PESTO_INCR_REPLAY")
+	if s == "" {
+		t.Skip("set PESTO_INCR_REPLAY to replay one edit-trace step")
+	}
+	target, err := strconv.Atoi(s)
+	if err != nil || target < 0 {
+		t.Fatalf("bad PESTO_INCR_REPLAY=%q", s)
+	}
+	base, err := gen.Generate(gen.Config{Family: gen.Layered, Nodes: 48, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edits, err := gen.EditTrace(base, gen.EditTraceConfig{Seed: 17, Steps: target + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sim.NewSystem(2, sweepGPUMem)
+	opts := placement.Options{
+		ILPTimeLimit: 5 * time.Second,
+		StartStage:   placement.StageRefine,
+		Seed:         1,
+		Verify:       true,
+	}
+	ctx := context.Background()
+	cur := base
+	for step := 0; step < target; step++ {
+		next, _, err := incr.Apply(cur, edits[step])
+		if err != nil {
+			t.Fatalf("replay step %d: %v", step, err)
+		}
+		cur = next
+	}
+	coldPrior, err := placement.PlaceMultiGPU(ctx, cur, sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, m, err := incr.Apply(cur, edits[target])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := placement.Incremental(ctx, next, sys,
+		placement.PriorPlacement{Graph: cur, Plan: coldPrior.Plan, NodeMap: m}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := verify.Check(next, sys, res.Plan)
+	if err != nil {
+		t.Fatalf("step %d: %v", target, err)
+	}
+	coldStep, err := placement.PlaceMultiGPU(ctx, next, sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("step %d (%s): %+v\n", target, edits[target].Kind, res.Provenance.Incremental)
+	fmt.Printf("step %d: warm makespan %v, cold %v, ratio %.4f\n",
+		target, chk.Makespan, coldStep.SimulatedMakespan,
+		float64(chk.Makespan)/float64(coldStep.SimulatedMakespan))
+}

@@ -38,6 +38,7 @@ import (
 	"pesto/internal/fault"
 	"pesto/internal/gen"
 	"pesto/internal/graph"
+	"pesto/internal/incr"
 	"pesto/internal/models"
 	"pesto/internal/obs"
 	"pesto/internal/placement"
@@ -111,10 +112,31 @@ type (
 
 // Degradation-ladder rungs, re-exported for provenance checks.
 const (
-	StageILP      = placement.StageILP
-	StageRefine   = placement.StageRefine
-	StageFallback = placement.StageFallback
-	StageReplan   = placement.StageReplan
+	StageILP         = placement.StageILP
+	StageRefine      = placement.StageRefine
+	StageFallback    = placement.StageFallback
+	StageReplan      = placement.StageReplan
+	StageIncremental = placement.StageIncremental
+)
+
+// Incremental placement types (evolving graphs; see DESIGN.md,
+// "Incremental model").
+type (
+	// PriorPlacement carries the previous graph, its plan and the chain
+	// bookkeeping into Incremental.
+	PriorPlacement = placement.PriorPlacement
+	// IncrementalInfo is the per-solve provenance Incremental attaches:
+	// dirty/clean group counts, chain depth, the chain's quality record,
+	// and the cold-fallback reason when the warm path declined.
+	IncrementalInfo = placement.IncrementalInfo
+	// GraphEdit is one graph mutation (insert, delete, reweight,
+	// reweight-edge, rewire, grow-layer).
+	GraphEdit = incr.Edit
+	// GraphDiff is the structural comparison Incremental runs between a
+	// prior graph and its edited successor.
+	GraphDiff = incr.Diff
+	// EditTraceConfig configures the seeded edit-trace generator.
+	EditTraceConfig = gen.EditTraceConfig
 )
 
 // Fault-injection types.
@@ -285,6 +307,39 @@ func HEFTPlan(g *Graph, sys System) (Plan, error) {
 // primary two-GPU setting, to which this defers when k == 2).
 func PlaceMultiGPU(ctx context.Context, g *Graph, sys System, opts PlaceOptions) (*PlaceResult, error) {
 	return placement.PlaceMultiGPU(ctx, g, sys, opts)
+}
+
+// Incremental re-places an edited graph starting from a prior plan:
+// groups whose sub-fingerprints are unchanged keep their devices, the
+// edit-dirty neighborhood is re-solved, and the result is re-proved by
+// the full invariant checker before it is returned. When the warm path
+// cannot match the chain's quality record — or the edit restructures
+// the graph — it falls back to a from-scratch solve and says so in
+// Provenance.Incremental.FallbackReason. Chain successive calls by
+// building the next PriorPlacement from the returned plan and
+// IncrementalInfo.
+func Incremental(ctx context.Context, g *Graph, sys System, prior PriorPlacement, opts PlaceOptions) (*PlaceResult, error) {
+	return placement.Incremental(ctx, g, sys, prior, opts)
+}
+
+// ApplyEdit applies one graph edit, returning the edited graph and the
+// old-node → new-node map Incremental needs to carry placements across.
+func ApplyEdit(g *Graph, e GraphEdit) (*Graph, []NodeID, error) {
+	return incr.Apply(g, e)
+}
+
+// CompareGraphs structurally diffs an edited graph against its base
+// under the given node map — the same comparison Incremental uses to
+// decide which coarse groups must be re-solved.
+func CompareGraphs(base, edited *Graph, nodeMap []NodeID) GraphDiff {
+	return incr.Compare(base, edited, nodeMap)
+}
+
+// GenerateEditTrace derives a seeded sequence of graph edits from a
+// base graph — the workload of the edit-trace differential sweep. Equal
+// configs yield byte-identical traces.
+func GenerateEditTrace(base *Graph, cfg EditTraceConfig) ([]GraphEdit, error) {
+	return gen.EditTrace(base, cfg)
 }
 
 // WriteGantt renders the timeline of a simulated step as a text Gantt
