@@ -6,7 +6,7 @@ GO ?= go
 # `make verify` runs the full population.
 SWEEP ?= 1000
 
-.PHONY: build test check bench bench-lp bench-incr fmt vet verify smoke obs-smoke fleet-smoke chaos bench-fleet
+.PHONY: build test check bench bench-lp bench-incr bench-pipeline fmt vet verify smoke obs-smoke fleet-smoke chaos bench-fleet
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,16 @@ bench-lp:
 # `go test -bench BenchmarkIncrementalTrace -benchtime 3x ./internal/placement/`.
 bench-incr:
 	PESTO_BENCH_INCR=1 $(GO) test -short -run TestIncrRegression \
+		-count=1 -v ./internal/placement/
+
+# The pipeline-rung gate: re-times the contiguous-split DP rung
+# (StagePipelineDP) and fails if it regresses >2x over the committed
+# BENCH_pipeline.json snapshot (which itself records the DP rung's
+# latency and plan quality against the exact ILP rung). Regenerate the
+# snapshot with
+# `go test -bench BenchmarkPipelineDPRung -benchtime 3x ./internal/placement/`.
+bench-pipeline:
+	PESTO_BENCH_PIPELINE=1 $(GO) test -short -run TestPipelineRegression \
 		-count=1 -v ./internal/placement/
 
 # Length of the incremental edit-trace sweep (one seeded trace replayed

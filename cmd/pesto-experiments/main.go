@@ -7,7 +7,7 @@
 //
 // Experiment names: figure2, figure4a, figure4b, table1, figure5,
 // figure7, table2, table3, figure8a, figure8b, coarsening, validation,
-// extended, multigpu, resilience.
+// extended, multigpu, resilience, pipeline.
 package main
 
 import (
@@ -31,11 +31,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("pesto-experiments", flag.ContinueOnError)
 	var (
-		small    = fs.Bool("small", false, "use scaled-down model variants (seconds instead of minutes)")
-		ilpTime  = fs.Duration("ilp-time", 0, "Pesto ILP+refinement budget per placement (0 = default)")
-		only     = fs.String("only", "", "comma-separated experiment names; empty = all")
-		seed     = fs.Int64("seed", 1, "random seed")
-		parallel = fs.Int("parallel", 0, "worker count for placement and experiment cells (0 = GOMAXPROCS); tables are reproducible at -parallel 1, budget-bound cells can shift under contention")
+		small        = fs.Bool("small", false, "use scaled-down model variants (seconds instead of minutes)")
+		ilpTime      = fs.Duration("ilp-time", 0, "Pesto ILP+refinement budget per placement (0 = default)")
+		only         = fs.String("only", "", "comma-separated experiment names; empty = all")
+		seed         = fs.Int64("seed", 1, "random seed")
+		parallel     = fs.Int("parallel", 0, "worker count for placement and experiment cells (0 = GOMAXPROCS); tables are reproducible at -parallel 1, budget-bound cells can shift under contention")
+		microbatches = fs.Int("microbatches", 4, "microbatch count for the pipeline experiment")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +72,7 @@ func run(args []string) error {
 		{"extended", func() (fmt.Stringer, error) { return experiments.ExtendedBaselines(ctx, cfg) }},
 		{"multigpu", func() (fmt.Stringer, error) { return experiments.MultiGPU(ctx, cfg) }},
 		{"resilience", func() (fmt.Stringer, error) { return experiments.Resilience(ctx, cfg) }},
+		{"pipeline", func() (fmt.Stringer, error) { return experiments.PipelineSchedules(ctx, cfg, *microbatches) }},
 	}
 	ran := 0
 	for _, e := range exps {

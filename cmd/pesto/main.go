@@ -26,6 +26,8 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"pesto"
@@ -59,6 +61,8 @@ func run(args []string) error {
 		obsTrace = fs.String("obs-trace", "", "write a combined solver+execution Chrome Trace Event file")
 		obsLog   = fs.String("obs-log", "", `stream solver telemetry as JSON lines to this file ("-" = stderr)`)
 		dotPath  = fs.String("dot", "", "write the model graph in DOT format to this file")
+		devSpeed = fs.String("device-speeds", "", `per-GPU compute speed multipliers, e.g. "1.0,2.0" (missing entries stay 1.0)`)
+		pipeSpec = fs.String("pipeline", "", `microbatched pipeline planning spec, e.g. "mb=8,sched=1f1b" (pesto strategy only)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +79,20 @@ func run(args []string) error {
 		return err
 	}
 	sys := pesto.NewSystem(*gpus, *gpuMemGB<<30)
+	if *devSpeed != "" {
+		speeds, err := parseSpeeds(*devSpeed)
+		if err != nil {
+			return fmt.Errorf("-device-speeds: %w", err)
+		}
+		sys = sys.WithGPUSpeeds(speeds)
+	}
+	popts, err := pesto.ParsePipelineSpec(*pipeSpec)
+	if err != nil {
+		return fmt.Errorf("-pipeline: %w", err)
+	}
+	if popts.Enabled() && *strategy != "pesto" {
+		return fmt.Errorf("-pipeline requires -strategy pesto, got %q", *strategy)
+	}
 
 	// Solver telemetry: a context-carried recorder feeding an in-memory
 	// sink (for -obs-trace) and/or a JSONL stream (-obs-log). Without
@@ -128,6 +146,7 @@ func run(args []string) error {
 			CoarsenTarget:   *coarsen,
 			ScheduleFromILP: true,
 			Parallel:        *parallel,
+			Pipeline:        popts,
 		})
 		if err != nil {
 			return err
@@ -135,6 +154,14 @@ func run(args []string) error {
 		plan = res.Plan
 		fmt.Printf("pesto: coarse=%d vertices, ilp=%v (gap %.3f, %d nodes), placement time %v\n",
 			res.CoarseSize, res.ILPStatus, res.Gap, res.Nodes, res.PlacementTime.Round(time.Millisecond))
+		if pi := res.Provenance.Pipeline; pi != nil {
+			fmt.Printf("pipeline: %d stages x %d microbatches (%s), step %v vs single-shot %v, bubble %.1f%%\n",
+				pi.Stages, pi.Microbatches, pi.Schedule, pi.Makespan, pi.FIFOStep, 100*pi.Bubble)
+			for s := range pi.StageDevices {
+				fmt.Printf("  stage %d: dev%d %d ops, util %5.1f%%, peak mem %.2f GiB\n",
+					s, pi.StageDevices[s], pi.StageOps[s], 100*pi.StageUtil[s], float64(pi.StagePeakMem[s])/(1<<30))
+			}
+		}
 		if perr := res.Provenance.Err(); perr != nil {
 			fmt.Println("warning:", perr)
 		}
@@ -285,4 +312,22 @@ func run(args []string) error {
 			tr.Start, tr.Finish, tr.From, tr.To, tr.Edge.Bytes, tr.Queued())
 	}
 	return nil
+}
+
+// parseSpeeds parses the -device-speeds list: comma-separated positive
+// multipliers, one per GPU in device order.
+func parseSpeeds(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	speeds := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad speed %q", p)
+		}
+		if v <= 0 || v != v {
+			return nil, fmt.Errorf("speed %q must be positive", p)
+		}
+		speeds = append(speeds, v)
+	}
+	return speeds, nil
 }

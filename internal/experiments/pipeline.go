@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pesto/internal/engine"
+	"pesto/internal/pipeline"
+)
+
+// PipelineRow compares the microbatch schedule disciplines on one
+// variant: the single-shot FIFO step through the winning partition (the
+// no-pipelining baseline, amortized per step) against the microbatched
+// GPipe and 1F1B steps over the same stages.
+type PipelineRow struct {
+	Variant string
+	// Stages is the stage count of the winning contiguous partition.
+	Stages int
+	// FIFO is the single-shot step: one batch pushed through the
+	// stages with no microbatch overlap.
+	FIFO time.Duration
+	// GPipe / OneFOneB are the microbatched steps under each
+	// discipline, with their bubble fractions and peak stage memory.
+	GPipe          time.Duration
+	GPipeBubble    float64
+	GPipeMem       int64
+	OneFOneB       time.Duration
+	OneFOneBBubble float64
+	OneFOneBMem    int64
+	Err            error
+}
+
+// Best names the winning discipline of a row.
+func (r PipelineRow) Best() string {
+	switch {
+	case r.Err != nil:
+		return "err"
+	case r.OneFOneB < r.GPipe:
+		return "1f1b"
+	case r.GPipe < r.OneFOneB:
+		return "gpipe"
+	default:
+		return "tie"
+	}
+}
+
+// PipelineResult is the FIFO vs GPipe vs 1F1B comparison.
+type PipelineResult struct {
+	Microbatches int
+	Rows         []PipelineRow
+}
+
+func (r PipelineResult) String() string {
+	rows := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		if row.Err != nil {
+			rows = append(rows, fmt.Sprintf("%-24s error: %v", row.Variant, row.Err))
+			continue
+		}
+		rows = append(rows, fmt.Sprintf("%-24s S=%d fifo=%-12s gpipe=%-12s (bubble %4.1f%%) 1f1b=%-12s (bubble %4.1f%%) best=%s",
+			row.Variant, row.Stages, row.FIFO,
+			row.GPipe, 100*row.GPipeBubble,
+			row.OneFOneB, 100*row.OneFOneBBubble, row.Best()))
+	}
+	return table(fmt.Sprintf("Pipeline schedules: per-step time, FIFO vs GPipe vs 1F1B (M=%d)", r.Microbatches), rows)
+}
+
+// PipelineSchedules scores the microbatch disciplines across the model
+// zoo: for each variant the contiguous-split DP picks the stages, then
+// GPipe and 1F1B are both built and simulated over M microbatches and
+// compared against the single-shot FIFO step through the same stages —
+// the EXPERIMENTS.md "pipeline schedules" table.
+func PipelineSchedules(ctx context.Context, cfg Config, microbatches int) (PipelineResult, error) {
+	cfg = cfg.withDefaults()
+	if microbatches <= 0 {
+		microbatches = 4
+	}
+	variants := cfg.variants()
+	outs, err := engine.Map(ctx, cfg.pool(), len(variants), func(ctx context.Context, i int) (PipelineRow, error) {
+		v := variants[i]
+		row := PipelineRow{Variant: v.Name}
+		g, err := v.Build()
+		if err != nil {
+			row.Err = err
+			return row, nil
+		}
+		score := func(kind pipeline.ScheduleKind) (*pipeline.Outcome, error) {
+			return pipeline.Search(ctx, g, *cfg.Sys, pipeline.Options{
+				Microbatches: microbatches,
+				Schedule:     kind,
+			})
+		}
+		gp, err := score(pipeline.ScheduleGPipe)
+		if err != nil {
+			row.Err = err
+			return row, nil
+		}
+		ob, err := score(pipeline.Schedule1F1B)
+		if err != nil {
+			row.Err = err
+			return row, nil
+		}
+		gi, oi := gp.Info(), ob.Info()
+		row.Stages = gi.Stages
+		row.FIFO = gi.FIFOStep
+		row.GPipe, row.GPipeBubble, row.GPipeMem = gi.Makespan, gi.Bubble, gi.PeakMemory
+		row.OneFOneB, row.OneFOneBBubble, row.OneFOneBMem = oi.Makespan, oi.Bubble, oi.PeakMemory
+		return row, nil
+	})
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	out := PipelineResult{Microbatches: microbatches}
+	for i, o := range outs {
+		if o.Err != nil {
+			return out, fmt.Errorf("%s: %w", variants[i].Name, o.Err)
+		}
+		out.Rows = append(out.Rows, o.Value)
+	}
+	return out, nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestPipelineSchedulesTable(t *testing.T) {
+	res, err := PipelineSchedules(context.Background(), smallCfg(), 4)
+	if err != nil {
+		t.Fatalf("PipelineSchedules: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		if row.Err != nil {
+			t.Errorf("%s: %v", row.Variant, row.Err)
+			continue
+		}
+		if row.Stages <= 0 || row.FIFO <= 0 || row.GPipe <= 0 || row.OneFOneB <= 0 {
+			t.Errorf("%s: missing measurements: %+v", row.Variant, row)
+			continue
+		}
+		// Per-step amortized, the best pipelined discipline must beat
+		// pushing one full batch through the stages at a time.
+		best := row.GPipe
+		if row.OneFOneB < best {
+			best = row.OneFOneB
+		}
+		if best >= row.FIFO {
+			t.Errorf("%s: best pipeline step %v not better than FIFO %v", row.Variant, best, row.FIFO)
+		}
+		if row.GPipeBubble < 0 || row.GPipeBubble >= 1 || row.OneFOneBBubble < 0 || row.OneFOneBBubble >= 1 {
+			t.Errorf("%s: bubble out of range: gpipe=%v 1f1b=%v", row.Variant, row.GPipeBubble, row.OneFOneBBubble)
+		}
+	}
+	if !strings.Contains(res.String(), "Pipeline schedules") {
+		t.Error("String() missing header")
+	}
+}

@@ -42,6 +42,13 @@ const (
 	// Random is an unstructured DAG: each operation draws 1–4
 	// predecessors uniformly among earlier operations.
 	Random
+	// Pipeline is a deep block-sequential shape built for pipeline
+	// parallelism: B internally-dense blocks of W operations chained
+	// through narrow single-edge cuts, so contiguous stage partitions
+	// have cheap boundaries. Deliberately NOT in Families() —
+	// RandomConfig's population (and every seeded sweep built on it)
+	// stays byte-identical; request it explicitly via PipelineConfig.
+	Pipeline
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +64,8 @@ func (f Family) String() string {
 		return "coloc-heavy"
 	case Random:
 		return "random"
+	case Pipeline:
+		return "pipeline"
 	default:
 		return fmt.Sprintf("Family(%d)", int(f))
 	}
@@ -181,6 +190,28 @@ func RandomConfig(seed int64) Config {
 	return cfg
 }
 
+// PipelineConfig derives a pipeline-friendly Config deterministically
+// from one seed: a Pipeline-family graph deep enough to cut into
+// several balanced stages, sized like the layered model zoo. It is the
+// pipeline sweep's counterpart to RandomConfig.
+func PipelineConfig(seed int64) Config {
+	rng := rand.New(rand.NewSource(seed ^ 0x7f4a7c159e3779b9))
+	cfg := Config{
+		Family:  Pipeline,
+		Seed:    seed,
+		Nodes:   24 + rng.Intn(40),
+		Width:   2 + rng.Intn(3),
+		CPUOps:  1,
+		MinCost: time.Duration(5+rng.Intn(20)) * time.Microsecond,
+	}
+	cfg.MaxCost = cfg.MinCost * time.Duration(2+rng.Intn(20))
+	cfg.MinBytes = int64(1) << uint(8+rng.Intn(4)) // 256B..2KiB
+	cfg.MaxBytes = cfg.MinBytes << uint(1+rng.Intn(6))
+	cfg.MinMem = int64(1) << uint(18+rng.Intn(3))
+	cfg.MaxMem = cfg.MinMem << uint(1+rng.Intn(5))
+	return cfg
+}
+
 // Generate builds the DAG described by cfg. The graph is acyclic by
 // construction (edges only go from lower to higher IDs), validates
 // structurally, and is byte-identical for equal configs.
@@ -198,6 +229,8 @@ func Generate(cfg Config) (*graph.Graph, error) {
 		b.layered()
 	case Random:
 		b.random()
+	case Pipeline:
+		b.pipeline()
 	default:
 		return nil, fmt.Errorf("gen: unknown family %v", cfg.Family)
 	}
@@ -404,6 +437,57 @@ func (b *builder) random() {
 		for _, pi := range b.rng.Perm(i)[:k] {
 			b.edge(b.gpu[pi], id)
 		}
+	}
+}
+
+// pipeline builds B internally-dense blocks of ~Width operations each,
+// chained through a single narrow edge between consecutive blocks: the
+// stage-friendly shape where a contiguous split pays one activation
+// transfer per boundary. Layer is the block index, so coarsening and
+// the contiguous-split DP both see the intended stage structure.
+func (b *builder) pipeline() {
+	in := b.inputs()
+	w := b.cfg.Width
+	if w < 1 {
+		w = 1
+	}
+	blocks := (b.cfg.Nodes + w) / (w + 1)
+	if blocks < 2 {
+		blocks = 2
+	}
+	made := 0
+	prevOut := graph.NodeID(-1)
+	for blk := 0; blk < blocks && made < b.cfg.Nodes; blk++ {
+		entry := b.addGPU(fmt.Sprintf("block%d/in", blk), 1+blk)
+		made++
+		if prevOut < 0 {
+			for _, cin := range in {
+				b.edge(cin, entry)
+			}
+		} else {
+			b.edge(prevOut, entry)
+		}
+		// Dense interior: every interior op hangs off the entry and
+		// feeds the block's output op, so within-block communication
+		// dwarfs the single boundary edge.
+		var mids []graph.NodeID
+		for j := 0; j < w-1 && made < b.cfg.Nodes; j++ {
+			mid := b.addGPU(fmt.Sprintf("block%d/op%d", blk, j), 1+blk)
+			b.edge(entry, mid)
+			mids = append(mids, mid)
+			made++
+		}
+		out := entry
+		if len(mids) > 0 && made < b.cfg.Nodes {
+			out = b.addGPU(fmt.Sprintf("block%d/out", blk), 1+blk)
+			for _, mid := range mids {
+				b.edge(mid, out)
+			}
+			made++
+		} else if len(mids) > 0 {
+			out = mids[len(mids)-1]
+		}
+		prevOut = out
 	}
 }
 

@@ -181,3 +181,57 @@ func TestRandomConfigCoversFamiliesDeterministically(t *testing.T) {
 		}
 	}
 }
+
+// TestGeneratePipelineFamily covers the pipeline-friendly layered
+// family: deterministic per seed, valid, block-structured (every block
+// has a single entry fed by the previous block's exit, so contiguous
+// stage cuts along the topological order are natural), and deliberately
+// absent from Families() so existing random populations stay
+// byte-identical.
+func TestGeneratePipelineFamily(t *testing.T) {
+	for _, fam := range Families() {
+		if fam == Pipeline {
+			t.Fatal("Pipeline joined Families(); existing seeded populations would shift")
+		}
+	}
+	if Pipeline.String() != "pipeline" {
+		t.Fatalf("Pipeline.String() = %q", Pipeline.String())
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		cfg := PipelineConfig(seed)
+		if cfg.Family != Pipeline {
+			t.Fatalf("PipelineConfig family = %v", cfg.Family)
+		}
+		g, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Generate(PipelineConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jsonBytes(t, g), jsonBytes(t, b)) {
+			t.Fatalf("seed %d: PipelineConfig not deterministic", seed)
+		}
+		gpuOps := 0
+		for _, nd := range g.Nodes() {
+			if nd.Kind == graph.KindGPU {
+				gpuOps++
+				if nd.Cost <= 0 {
+					t.Fatalf("seed %d: op %d has no cost", seed, nd.ID)
+				}
+			}
+		}
+		if gpuOps < 4 {
+			t.Fatalf("seed %d: only %d GPU ops; too thin to pipeline", seed, gpuOps)
+		}
+	}
+	a, _ := Generate(PipelineConfig(0))
+	b, _ := Generate(PipelineConfig(1))
+	if bytes.Equal(jsonBytes(t, a), jsonBytes(t, b)) {
+		t.Fatal("different seeds generated identical pipeline graphs")
+	}
+}

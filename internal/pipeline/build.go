@@ -1,0 +1,414 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"pesto/internal/graph"
+	"pesto/internal/sim"
+)
+
+// Plan is a concrete microbatched pipeline execution artifact: the
+// microbatch-replicated task graph (one forward task per (stage,
+// microbatch), plus backward tasks for training pipelines and host-side
+// source tasks feeding stage inputs), the simulator plan pinning each
+// stage to its device with an explicit per-device order implementing
+// the schedule discipline, and the metadata the accounting and the
+// independent verifier need.
+type Plan struct {
+	Graph     *graph.Graph
+	Sim       sim.Plan
+	Meta      sim.PipelineMeta
+	Partition *Partition
+	Schedule  ScheduleKind
+}
+
+// Score is the simulated quality of one pipeline plan.
+type Score struct {
+	// Makespan is the simulated time of one full training step: all M
+	// microbatches through every stage (and back, when training).
+	Makespan time.Duration
+	// PerMicrobatch is Makespan / M — the amortized per-microbatch
+	// step time the pipeline must hold under the FIFO baseline to pay
+	// for itself.
+	PerMicrobatch time.Duration
+	// Bubble is 1 - sum(stage busy)/(S * Makespan): the idle fraction
+	// of the pipeline diagram.
+	Bubble float64
+	// Stages is the per-stage accounting (busy, utilization, peak
+	// memory, peak in-flight microbatches).
+	Stages []sim.PipelineStageStats
+	// PeakMemory is the largest per-stage peak footprint.
+	PeakMemory int64
+}
+
+// splitShare divides a full-batch quantity across M microbatches,
+// spreading the remainder over the first microbatches so totals are
+// conserved exactly.
+func splitShare(total int64, m, M int) int64 {
+	share := total / int64(M)
+	if int64(m) < total%int64(M) {
+		share++
+	}
+	return share
+}
+
+// Build materializes the microbatch-replicated execution graph and
+// simulator plan for one partition under one schedule discipline with
+// M microbatches. Per-microbatch task costs and tensor volumes are the
+// full-batch values divided by M (remainders spread over the leading
+// microbatches), so the replicated step conserves total work.
+func Build(part *Partition, sys sim.System, M int, backwardRatio float64, kind ScheduleKind) (*Plan, error) {
+	if M < 1 || M > MaxMicrobatches {
+		return nil, fmt.Errorf("build pipeline: %d microbatches out of [1, %d]: %w", M, MaxMicrobatches, ErrBadSpec)
+	}
+	S := len(part.Stages)
+	if S == 0 {
+		return nil, fmt.Errorf("build pipeline: empty partition: %w", ErrInfeasible)
+	}
+	if backwardRatio == 0 {
+		backwardRatio = 2
+	}
+	training := backwardRatio > 0
+
+	hasSrc := part.CPUCost > 0
+	for _, st := range part.Stages {
+		if st.CPUBytes > 0 {
+			hasSrc = true
+		}
+	}
+
+	nTasks := S * M
+	if training {
+		nTasks *= 2
+	}
+	if hasSrc {
+		nTasks += M
+	}
+	pg := graph.New(nTasks)
+	meta := sim.PipelineMeta{
+		Stages:           S,
+		Microbatches:     M,
+		StageDevice:      make([]sim.DeviceID, S),
+		StageWeightBytes: make([]int64, S),
+		StageActBytes:    make([]int64, S),
+	}
+	if training {
+		meta.Discipline = kind.String()
+	}
+
+	var src []graph.NodeID
+	if hasSrc {
+		src = make([]graph.NodeID, M)
+		for m := 0; m < M; m++ {
+			src[m] = pg.AddNode(graph.Node{
+				Name: fmt.Sprintf("src.%d", m),
+				Kind: graph.KindCPU,
+				Cost: time.Duration(splitShare(int64(part.CPUCost), m, M)),
+			})
+		}
+	}
+	fid := make([][]graph.NodeID, S)
+	bid := make([][]graph.NodeID, S)
+	for s, st := range part.Stages {
+		meta.StageDevice[s] = st.Device
+		meta.StageWeightBytes[s] = st.WeightBytes
+		meta.StageActBytes[s] = (st.ActBytes + int64(M) - 1) / int64(M)
+		fid[s] = make([]graph.NodeID, M)
+		bid[s] = make([]graph.NodeID, M)
+		bwdTotal := int64(math.Round(float64(st.Compute) * math.Max(backwardRatio, 0)))
+		for m := 0; m < M; m++ {
+			fid[s][m] = pg.AddNode(graph.Node{
+				Name:  fmt.Sprintf("s%d.f%d", s, m),
+				Kind:  graph.KindGPU,
+				Cost:  time.Duration(splitShare(int64(st.Compute), m, M)),
+				Layer: s,
+			})
+			if training {
+				bid[s][m] = pg.AddNode(graph.Node{
+					Name:  fmt.Sprintf("s%d.b%d", s, m),
+					Kind:  graph.KindGPU,
+					Cost:  time.Duration(splitShare(bwdTotal, m, M)),
+					Layer: s,
+				})
+			}
+		}
+	}
+	for s, st := range part.Stages {
+		for m := 0; m < M; m++ {
+			if hasSrc && (st.CPUBytes > 0 || s == 0) {
+				if err := pg.AddEdge(src[m], fid[s][m], splitShare(st.CPUBytes, m, M)); err != nil {
+					return nil, fmt.Errorf("build pipeline: %w", err)
+				}
+			}
+			if s+1 < S {
+				act := splitShare(st.ActBytes, m, M)
+				if err := pg.AddEdge(fid[s][m], fid[s+1][m], act); err != nil {
+					return nil, fmt.Errorf("build pipeline: %w", err)
+				}
+				if training {
+					if err := pg.AddEdge(bid[s+1][m], bid[s][m], act); err != nil {
+						return nil, fmt.Errorf("build pipeline: %w", err)
+					}
+				}
+			}
+			if training {
+				// The backward task consumes the stage's stashed
+				// activations: same device, no transfer.
+				if err := pg.AddEdge(fid[s][m], bid[s][m], 0); err != nil {
+					return nil, fmt.Errorf("build pipeline: %w", err)
+				}
+			}
+		}
+	}
+
+	n := pg.NumNodes()
+	meta.StageOf = make([]int, n)
+	meta.MBOf = make([]int, n)
+	meta.Backward = make([]bool, n)
+	device := make([]sim.DeviceID, n)
+	cpu := sys.CPUID()
+	for m := 0; m < M; m++ {
+		if hasSrc {
+			meta.StageOf[src[m]] = -1
+			meta.MBOf[src[m]] = m
+			device[src[m]] = cpu
+		}
+		for s := 0; s < S; s++ {
+			meta.StageOf[fid[s][m]] = s
+			meta.MBOf[fid[s][m]] = m
+			device[fid[s][m]] = part.Stages[s].Device
+			if training {
+				meta.StageOf[bid[s][m]] = s
+				meta.MBOf[bid[s][m]] = m
+				meta.Backward[bid[s][m]] = true
+				device[bid[s][m]] = part.Stages[s].Device
+			}
+		}
+	}
+
+	order := make([][]graph.NodeID, len(sys.Devices))
+	if hasSrc {
+		order[cpu] = append([]graph.NodeID(nil), src...)
+	}
+	for s := 0; s < S; s++ {
+		var slots []Slot
+		if training {
+			slots = StageOrder(kind, s, S, M)
+		} else {
+			slots = ForwardOrder(M)
+		}
+		lane := make([]graph.NodeID, 0, len(slots))
+		for _, sl := range slots {
+			if sl.Backward {
+				lane = append(lane, bid[s][sl.MB])
+			} else {
+				lane = append(lane, fid[s][sl.MB])
+			}
+		}
+		order[part.Stages[s].Device] = lane
+	}
+
+	return &Plan{
+		Graph:     pg,
+		Sim:       sim.Plan{Device: device, Order: order, Policy: sim.PolicyFIFO},
+		Meta:      meta,
+		Partition: part,
+		Schedule:  kind,
+	}, nil
+}
+
+// ScorePlan simulates the pipeline plan on sys and reduces it to a
+// Score via the simulator's pipeline accounting.
+func ScorePlan(p *Plan, sys sim.System) (Score, sim.Result, error) {
+	res, err := sim.Run(p.Graph, sys, p.Sim)
+	if err != nil {
+		return Score{}, sim.Result{}, fmt.Errorf("pipeline score: %w", err)
+	}
+	stats, bubble, err := sim.PipelineAccounting(p.Graph, p.Meta, res)
+	if err != nil {
+		return Score{}, sim.Result{}, fmt.Errorf("pipeline score: %w", err)
+	}
+	sc := Score{
+		Makespan:      res.Makespan,
+		PerMicrobatch: res.Makespan / time.Duration(p.Meta.Microbatches),
+		Bubble:        bubble,
+		Stages:        stats,
+	}
+	for _, st := range stats {
+		if st.PeakMemory > sc.PeakMemory {
+			sc.PeakMemory = st.PeakMemory
+		}
+	}
+	return sc, res, nil
+}
+
+// memoryFeasible reports whether every stage's peak footprint fits its
+// device. Devices with Memory == 0 are unlimited.
+func memoryFeasible(sys sim.System, stats []sim.PipelineStageStats) bool {
+	for _, st := range stats {
+		dev, ok := sys.Device(st.Device)
+		if !ok {
+			return false
+		}
+		if dev.Memory > 0 && st.PeakMemory > dev.Memory {
+			return false
+		}
+	}
+	return true
+}
+
+// Candidate records one (stage count, schedule) point the search
+// scored, for observability and the experiments tables.
+type Candidate struct {
+	Stages     int
+	Schedule   ScheduleKind
+	Makespan   time.Duration
+	Bubble     float64
+	PeakMemory int64
+	Feasible   bool
+}
+
+// Outcome is the result of Search: the best (partition, schedule) pair
+// with its score, the single-shot baseline, and every candidate tried.
+type Outcome struct {
+	Plan  *Plan
+	Score Score
+	// FIFOStep is the simulated single-shot step (M = 1, no
+	// microbatching) through the winning partition — the baseline the
+	// pipeline's Makespan must beat to pay for itself.
+	FIFOStep   time.Duration
+	Candidates []Candidate
+}
+
+// Info is the compact provenance record placement attaches to its
+// results (Result.Provenance.Pipeline).
+type Info struct {
+	Stages        int            `json:"stages"`
+	Microbatches  int            `json:"microbatches"`
+	Schedule      string         `json:"schedule"`
+	Makespan      time.Duration  `json:"makespan"`
+	PerMicrobatch time.Duration  `json:"per_microbatch"`
+	FIFOStep      time.Duration  `json:"fifo_step"`
+	Bubble        float64        `json:"bubble"`
+	PeakMemory    int64          `json:"peak_memory"`
+	StageDevices  []sim.DeviceID `json:"stage_devices"`
+	StageOps      []int          `json:"stage_ops"`
+	StageUtil     []float64      `json:"stage_util"`
+	StagePeakMem  []int64        `json:"stage_peak_mem"`
+}
+
+// Info reduces the outcome to its provenance record.
+func (o *Outcome) Info() *Info {
+	if o == nil || o.Plan == nil {
+		return nil
+	}
+	info := &Info{
+		Stages:        len(o.Plan.Partition.Stages),
+		Microbatches:  o.Plan.Meta.Microbatches,
+		Schedule:      o.Plan.Schedule.String(),
+		Makespan:      o.Score.Makespan,
+		PerMicrobatch: o.Score.PerMicrobatch,
+		FIFOStep:      o.FIFOStep,
+		Bubble:        o.Score.Bubble,
+		PeakMemory:    o.Score.PeakMemory,
+	}
+	for _, st := range o.Plan.Partition.Stages {
+		info.StageDevices = append(info.StageDevices, st.Device)
+		info.StageOps = append(info.StageOps, len(st.Nodes))
+	}
+	for _, st := range o.Score.Stages {
+		info.StageUtil = append(info.StageUtil, st.Utilization)
+		info.StagePeakMem = append(info.StagePeakMem, st.PeakMemory)
+	}
+	return info
+}
+
+// Search runs the joint (partition, schedule) search: for every stage
+// count S from 1 to the usable GPU count (capped by
+// Options.MaxStages), partition the graph with the contiguous-split DP
+// and score every requested schedule discipline on the simulator,
+// skipping candidates whose per-stage peak memory overflows a device.
+// The best candidate wins by simulated makespan, with peak memory then
+// lower stage count as deterministic tie-breaks.
+//
+// The graph is typically Pesto's coarsened graph — the DP then splits
+// coarse groups, exactly the granularity the ILP rung solves over.
+func Search(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*Outcome, error) {
+	opts = opts.WithDefaults()
+	if !opts.Enabled() {
+		return nil, fmt.Errorf("pipeline search: options disable pipelining (mb=0): %w", ErrBadSpec)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	gpus := sys.GPUs()
+	if len(gpus) == 0 {
+		return nil, fmt.Errorf("pipeline search: no usable GPUs: %w", ErrInfeasible)
+	}
+	maxS := len(gpus)
+	if opts.MaxStages > 0 && opts.MaxStages < maxS {
+		maxS = opts.MaxStages
+	}
+	kinds := []ScheduleKind{ScheduleGPipe, Schedule1F1B}
+	if opts.BackwardRatio < 0 {
+		kinds = []ScheduleKind{ScheduleGPipe} // disciplines coincide forward-only
+	} else if opts.Schedule != ScheduleAuto {
+		kinds = []ScheduleKind{opts.Schedule}
+	}
+
+	out := &Outcome{}
+	bestMk := time.Duration(-1)
+	for S := 1; S <= maxS; S++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("pipeline search: %w", err)
+		}
+		part, err := PartitionDP(g, sys, gpus[:S], opts.BackwardRatio)
+		if err != nil {
+			out.Candidates = append(out.Candidates, Candidate{Stages: S})
+			continue
+		}
+		for _, kind := range kinds {
+			plan, err := Build(part, sys, opts.Microbatches, opts.BackwardRatio, kind)
+			if err != nil {
+				out.Candidates = append(out.Candidates, Candidate{Stages: S, Schedule: kind})
+				continue
+			}
+			sc, _, err := ScorePlan(plan, sys)
+			if err != nil {
+				out.Candidates = append(out.Candidates, Candidate{Stages: S, Schedule: kind})
+				continue
+			}
+			feasible := memoryFeasible(sys, sc.Stages)
+			out.Candidates = append(out.Candidates, Candidate{
+				Stages:     S,
+				Schedule:   kind,
+				Makespan:   sc.Makespan,
+				Bubble:     sc.Bubble,
+				PeakMemory: sc.PeakMemory,
+				Feasible:   feasible,
+			})
+			if !feasible {
+				continue
+			}
+			if bestMk < 0 || sc.Makespan < bestMk ||
+				(sc.Makespan == bestMk && sc.PeakMemory < out.Score.PeakMemory) {
+				bestMk = sc.Makespan
+				out.Plan = plan
+				out.Score = sc
+			}
+		}
+	}
+	if out.Plan == nil {
+		return nil, fmt.Errorf("pipeline search: no memory-feasible (partition, schedule) candidate: %w", ErrInfeasible)
+	}
+	single, err := Build(out.Plan.Partition, sys, 1, opts.BackwardRatio, out.Plan.Schedule)
+	if err == nil {
+		if sc, _, serr := ScorePlan(single, sys); serr == nil {
+			out.FIFOStep = sc.Makespan
+		}
+	}
+	return out, nil
+}

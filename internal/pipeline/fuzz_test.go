@@ -1,0 +1,42 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseSpec: the pipeline-options parser never panics, classifies
+// every rejection as ErrBadSpec, and every accepted spec survives a
+// render/re-parse round trip.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("mb=8")
+	f.Add("mb=8,sched=1f1b")
+	f.Add("mb=4,sched=gpipe,stages=2,bwd=1.5")
+	f.Add("microbatches=512,schedule=pipedream,bwd=0")
+	f.Add("mb=1e9")
+	f.Add("mb=8,bwd=NaN")
+	f.Add("mb=8,,sched=auto,")
+	f.Add("mb = 8 , sched = fill-drain")
+	f.Fuzz(func(t *testing.T, spec string) {
+		o, err := ParseSpec(spec)
+		if err != nil {
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("ParseSpec(%q) rejection %v does not wrap ErrBadSpec", spec, err)
+			}
+			return
+		}
+		if verr := o.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted invalid options %+v: %v", spec, o, verr)
+		}
+		if o.Enabled() {
+			back, rerr := ParseSpec(o.Spec())
+			if rerr != nil {
+				t.Fatalf("re-parse of %q (from %q): %v", o.Spec(), spec, rerr)
+			}
+			if back != o {
+				t.Fatalf("round trip %q: %+v -> %+v", spec, o, back)
+			}
+		}
+	})
+}

@@ -1,0 +1,310 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"pesto/internal/graph"
+	"pesto/internal/sim"
+)
+
+// Stage is one contiguous pipeline stage: a run of the topological
+// order of the model's GPU operations, pinned to one device.
+type Stage struct {
+	// Device runs every task of the stage.
+	Device sim.DeviceID
+	// Nodes are the stage's node IDs in topological order.
+	Nodes []graph.NodeID
+	// Compute is the summed raw (speed-unscaled) forward compute cost.
+	Compute time.Duration
+	// WeightBytes is the summed resident memory of the stage's nodes.
+	WeightBytes int64
+	// ActBytes is the full-batch activation volume crossing the
+	// boundary from this stage to the next (zero for the last stage).
+	ActBytes int64
+	// CPUBytes is the full-batch input volume the stage receives from
+	// host-side (CPU) operations.
+	CPUBytes int64
+}
+
+// Partition is a contiguous split of a graph into pipeline stages.
+type Partition struct {
+	Stages []Stage
+	// CPUCost is the summed cost of the host-side operations feeding
+	// the pipeline (input pre-processing).
+	CPUCost time.Duration
+	// Bottleneck is the DP objective realized by this split: the
+	// slowest stage's modeled time (speed-scaled compute for forward
+	// plus backward, plus the activation transfer into the stage).
+	Bottleneck time.Duration
+}
+
+// Errors reported by the partitioner.
+var (
+	// ErrInfeasible means no contiguous split satisfies the per-device
+	// memory constraints (or the graph has fewer GPU operations than
+	// requested stages).
+	ErrInfeasible = errors.New("no feasible contiguous partition")
+)
+
+// splitModel is the shared cost model of PartitionDP and
+// PartitionExhaustive: both optimize exactly this function, which is
+// what lets the differential sweep demand bit-equal objectives.
+type splitModel struct {
+	sys    sim.System
+	devs   []sim.DeviceID
+	gpu    []graph.NodeID // GPU nodes in topological order
+	prefC  []int64        // prefix sums of raw compute (ns)
+	prefM  []int64        // prefix sums of resident memory
+	cross  []int64        // cross[b]: bytes crossing the boundary after position b
+	speed  []float64      // compute speed per stage slot
+	mem    []int64        // memory capacity per stage slot (0 = unlimited)
+	mult   float64        // forward+backward compute multiplier
+	xfer   int            // activation transfers per boundary (1 fwd, +1 bwd)
+	cpuIn  []int64        // per GPU position: bytes received from CPU ops
+	cpuGas time.Duration  // total CPU-op cost
+}
+
+// newSplitModel extracts the DP inputs from the graph. backwardRatio
+// follows the Options convention: zero means the default 2x, negative
+// means forward-only.
+func newSplitModel(g *graph.Graph, sys sim.System, devs []sim.DeviceID, backwardRatio float64) (*splitModel, error) {
+	topo, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("pipeline partition: %w", err)
+	}
+	if backwardRatio == 0 {
+		backwardRatio = 2
+	}
+	m := &splitModel{sys: sys, devs: devs, mult: 1 + math.Max(backwardRatio, 0), xfer: 1}
+	if backwardRatio > 0 {
+		m.xfer = 2
+	}
+	pos := make(map[graph.NodeID]int, len(topo))
+	nodes := g.Nodes()
+	for _, id := range topo {
+		if nodes[id].Kind == graph.KindGPU {
+			pos[id] = len(m.gpu)
+			m.gpu = append(m.gpu, id)
+		} else {
+			m.cpuGas += nodes[id].Cost
+		}
+	}
+	n := len(m.gpu)
+	if n == 0 {
+		return nil, fmt.Errorf("pipeline partition: graph has no GPU operations: %w", ErrInfeasible)
+	}
+	m.prefC = make([]int64, n+1)
+	m.prefM = make([]int64, n+1)
+	for i, id := range m.gpu {
+		m.prefC[i+1] = m.prefC[i] + int64(nodes[id].Cost)
+		m.prefM[i+1] = m.prefM[i] + nodes[id].Memory
+	}
+	diff := make([]int64, n+1)
+	m.cpuIn = make([]int64, n)
+	for _, e := range g.Edges() {
+		pu, uGPU := pos[e.From]
+		pv, vGPU := pos[e.To]
+		switch {
+		case uGPU && vGPU:
+			if pu > pv {
+				pu, pv = pv, pu
+			}
+			diff[pu] += e.Bytes
+			diff[pv] -= e.Bytes
+		case !uGPU && vGPU:
+			m.cpuIn[pv] += e.Bytes
+		}
+		// GPU->CPU edges (e.g. metrics readback) do not constrain the
+		// forward pipeline cut and are left to the simulator.
+	}
+	m.cross = make([]int64, n)
+	var run int64
+	for b := 0; b < n; b++ {
+		run += diff[b]
+		m.cross[b] = run
+	}
+	m.speed = make([]float64, len(devs))
+	m.mem = make([]int64, len(devs))
+	for s, d := range devs {
+		dev, ok := sys.Device(d)
+		if !ok || dev.Kind != sim.GPU || dev.Failed {
+			return nil, fmt.Errorf("pipeline partition: stage device %d unusable: %w", d, ErrInfeasible)
+		}
+		m.speed[s] = dev.Speed
+		if m.speed[s] <= 0 {
+			m.speed[s] = 1
+		}
+		m.mem[s] = dev.Memory
+	}
+	return m, nil
+}
+
+// stageCost models the bottleneck contribution of placing GPU
+// positions [j, i) as stage s: forward+backward compute scaled by the
+// stage device's speed, plus the activation traffic over the incoming
+// link (forward activations, and the returning gradients when
+// training). Returns +Inf when the stage's weights do not fit the
+// device.
+func (m *splitModel) stageCost(j, i, s int) float64 {
+	if m.mem[s] > 0 && m.prefM[i]-m.prefM[j] > m.mem[s] {
+		return math.Inf(1)
+	}
+	c := float64(m.prefC[i]-m.prefC[j]) * m.mult / m.speed[s]
+	if s > 0 {
+		t := m.sys.TransferTime(m.devs[s-1], m.devs[s], m.cross[j-1])
+		c += float64(t) * float64(m.xfer)
+	}
+	return c
+}
+
+// build materializes the Partition for the chosen boundaries; cut[s]
+// is the exclusive end position of stage s (cut[len(devs)-1] == n).
+func (m *splitModel) build(cut []int, bottleneck float64) *Partition {
+	p := &Partition{CPUCost: m.cpuGas, Bottleneck: time.Duration(math.Round(bottleneck))}
+	j := 0
+	for s, i := range cut {
+		st := Stage{
+			Device:      m.devs[s],
+			Nodes:       append([]graph.NodeID(nil), m.gpu[j:i]...),
+			Compute:     time.Duration(m.prefC[i] - m.prefC[j]),
+			WeightBytes: m.prefM[i] - m.prefM[j],
+		}
+		if i < len(m.gpu) {
+			st.ActBytes = m.cross[i-1]
+		}
+		for q := j; q < i; q++ {
+			st.CPUBytes += m.cpuIn[q]
+		}
+		p.Stages = append(p.Stages, st)
+		j = i
+	}
+	return p
+}
+
+// PartitionDP cuts g's GPU operations (in topological order) into
+// len(devs) contiguous stages, one per device in the given order,
+// minimizing the bottleneck stage time — the Tarnawski et al.
+// contiguous-split dynamic program over (split point, device count),
+// generalized with per-device compute speeds and memory capacities and
+// with the activation-transfer term from the system's communication
+// model. Ties break toward the earliest split, deterministically.
+func PartitionDP(g *graph.Graph, sys sim.System, devs []sim.DeviceID, backwardRatio float64) (*Partition, error) {
+	m, err := newSplitModel(g, sys, devs, backwardRatio)
+	if err != nil {
+		return nil, err
+	}
+	n, S := len(m.gpu), len(devs)
+	if S < 1 || S > n {
+		return nil, fmt.Errorf("pipeline partition: %d stages over %d GPU operations: %w", S, n, ErrInfeasible)
+	}
+	const inf = math.MaxFloat64
+	dp := make([][]float64, S)
+	parent := make([][]int, S)
+	for s := range dp {
+		dp[s] = make([]float64, n+1)
+		parent[s] = make([]int, n+1)
+		for i := range dp[s] {
+			dp[s][i] = inf
+			parent[s][i] = -1
+		}
+	}
+	for i := 1; i <= n; i++ {
+		dp[0][i] = m.stageCost(0, i, 0)
+	}
+	for s := 1; s < S; s++ {
+		for i := s + 1; i <= n; i++ {
+			for j := s; j < i; j++ {
+				prev := dp[s-1][j]
+				if prev == inf {
+					continue
+				}
+				c := m.stageCost(j, i, s)
+				if math.IsInf(c, 1) {
+					continue
+				}
+				if c < prev {
+					c = prev
+				}
+				if c < dp[s][i] {
+					dp[s][i] = c
+					parent[s][i] = j
+				}
+			}
+		}
+	}
+	if dp[S-1][n] == inf || math.IsInf(dp[S-1][n], 1) {
+		return nil, fmt.Errorf("pipeline partition: %d stages over %d operations: %w", S, n, ErrInfeasible)
+	}
+	cut := make([]int, S)
+	i := n
+	for s := S - 1; s >= 0; s-- {
+		cut[s] = i
+		if s > 0 {
+			i = parent[s][i]
+		}
+	}
+	return m.build(cut, dp[S-1][n]), nil
+}
+
+// PartitionExhaustive enumerates every contiguous split of the GPU
+// operations into len(devs) stages and returns the best under exactly
+// the cost model PartitionDP optimizes. It exists as the differential
+// oracle for the DP on small graphs and refuses more than
+// ExhaustiveLimit operations.
+func PartitionExhaustive(g *graph.Graph, sys sim.System, devs []sim.DeviceID, backwardRatio float64) (*Partition, error) {
+	m, err := newSplitModel(g, sys, devs, backwardRatio)
+	if err != nil {
+		return nil, err
+	}
+	n, S := len(m.gpu), len(devs)
+	if n > ExhaustiveLimit {
+		return nil, fmt.Errorf("pipeline partition: exhaustive splitter limited to %d operations, got %d", ExhaustiveLimit, n)
+	}
+	if S < 1 || S > n {
+		return nil, fmt.Errorf("pipeline partition: %d stages over %d GPU operations: %w", S, n, ErrInfeasible)
+	}
+	best := math.Inf(1)
+	var bestCut []int
+	cut := make([]int, S)
+	var walk func(s, from int, worst float64)
+	walk = func(s, from int, worst float64) {
+		if s == S-1 {
+			c := m.stageCost(from, n, s)
+			if c < worst {
+				c = worst
+			}
+			if c < best {
+				best = c
+				cut[s] = n
+				bestCut = append(bestCut[:0], cut...)
+			}
+			return
+		}
+		// Leave at least one operation per remaining stage.
+		for i := from + 1; i <= n-(S-1-s); i++ {
+			c := m.stageCost(from, i, s)
+			if math.IsInf(c, 1) {
+				continue
+			}
+			if c < worst {
+				c = worst
+			}
+			if c >= best {
+				continue // cannot improve a min-max objective by growing
+			}
+			cut[s] = i
+			walk(s+1, i, c)
+		}
+	}
+	walk(0, 0, 0)
+	if bestCut == nil {
+		return nil, fmt.Errorf("pipeline partition: %d stages over %d operations: %w", S, n, ErrInfeasible)
+	}
+	return m.build(bestCut, best), nil
+}
+
+// ExhaustiveLimit bounds PartitionExhaustive's input size.
+const ExhaustiveLimit = 16

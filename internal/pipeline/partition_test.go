@@ -1,0 +1,151 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"pesto/internal/gen"
+	"pesto/internal/graph"
+	"pesto/internal/sim"
+)
+
+// chainGraph builds a linear chain of n GPU operations with the given
+// per-op cost and per-edge bytes.
+func chainGraph(n int, cost time.Duration, bytes int64) *graph.Graph {
+	g := graph.New(n)
+	prev := graph.NodeID(-1)
+	for i := 0; i < n; i++ {
+		id := g.AddNode(graph.Node{Name: "op", Kind: graph.KindGPU, Cost: cost, Memory: 1 << 20})
+		if prev >= 0 {
+			_ = g.AddEdge(prev, id, bytes)
+		}
+		prev = id
+	}
+	return g
+}
+
+// zeroCommSystem is a system whose transfers are free — the regime
+// where the closed-form pipeline formulas hold exactly.
+func zeroCommSystem(numGPUs int) sim.System {
+	sys := sim.NewSystem(numGPUs, 16<<30)
+	sys.Comm = zeroCostModel()
+	return sys
+}
+
+func TestPartitionDPBalancedChain(t *testing.T) {
+	g := chainGraph(8, 100*time.Microsecond, 0)
+	sys := zeroCommSystem(2)
+	part, err := PartitionDP(g, sys, sys.GPUs(), -1)
+	if err != nil {
+		t.Fatalf("PartitionDP: %v", err)
+	}
+	if len(part.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(part.Stages))
+	}
+	for s, st := range part.Stages {
+		if len(st.Nodes) != 4 {
+			t.Errorf("stage %d holds %d ops, want 4 (balanced)", s, len(st.Nodes))
+		}
+	}
+	if want := 400 * time.Microsecond; part.Bottleneck != want {
+		t.Errorf("bottleneck = %v, want %v", part.Bottleneck, want)
+	}
+}
+
+// TestPartitionDPHeterogeneousSpeeds: a 3x faster second device takes
+// 3x the operations once per-device speeds enter the stage cost.
+func TestPartitionDPHeterogeneousSpeeds(t *testing.T) {
+	g := chainGraph(4, 100*time.Microsecond, 0)
+	sys := zeroCommSystem(2).WithGPUSpeeds([]float64{1, 3})
+	part, err := PartitionDP(g, sys, sys.GPUs(), -1)
+	if err != nil {
+		t.Fatalf("PartitionDP: %v", err)
+	}
+	if got := len(part.Stages[0].Nodes); got != 1 {
+		t.Fatalf("slow stage holds %d ops, want 1 (speeds must shift the cut)", got)
+	}
+	if got := len(part.Stages[1].Nodes); got != 3 {
+		t.Fatalf("fast stage holds %d ops, want 3", got)
+	}
+	if want := 100 * time.Microsecond; part.Bottleneck != want {
+		t.Errorf("bottleneck = %v, want %v", part.Bottleneck, want)
+	}
+}
+
+// TestPartitionDPMemoryInfeasible: stage weights over device capacity
+// make a split infeasible rather than silently over-packing.
+func TestPartitionDPMemoryInfeasible(t *testing.T) {
+	g := chainGraph(4, 100*time.Microsecond, 0)
+	sys := sim.NewSystem(1, 1<<20) // all four 1MiB ops cannot fit 1MiB
+	if _, err := PartitionDP(g, sys, sys.GPUs(), -1); err == nil {
+		t.Fatal("PartitionDP accepted a memory-infeasible single-stage split")
+	}
+}
+
+// TestPartitionDPMatchesExhaustive is the differential rung of the
+// acceptance criteria: on every seeded graph small enough for the
+// exhaustive splitter, the DP realizes the identical bottleneck
+// objective — same cost model, same optimum, bit for bit.
+func TestPartitionDPMatchesExhaustive(t *testing.T) {
+	ratios := []float64{-1, 1, 2}
+	for seed := int64(0); seed < 30; seed++ {
+		cfg := gen.PipelineConfig(seed)
+		cfg.Nodes = 6 + int(seed%7) // ≤ 12 GPU ops, within ExhaustiveLimit
+		g, err := gen.Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		sys := sim.NewSystem(4, 16<<30).WithGPUSpeeds([]float64{1, 2, 0.5, 1.5})
+		gpus := sys.GPUs()
+		for S := 1; S <= len(gpus); S++ {
+			ratio := ratios[int(seed)%len(ratios)]
+			dp, derr := PartitionDP(g, sys, gpus[:S], ratio)
+			ex, eerr := PartitionExhaustive(g, sys, gpus[:S], ratio)
+			if (derr == nil) != (eerr == nil) {
+				t.Fatalf("seed %d S=%d: feasibility disagrees: dp=%v exhaustive=%v", seed, S, derr, eerr)
+			}
+			if derr != nil {
+				continue
+			}
+			if dp.Bottleneck != ex.Bottleneck {
+				t.Errorf("seed %d S=%d ratio=%g: dp bottleneck %v != exhaustive %v",
+					seed, S, ratio, dp.Bottleneck, ex.Bottleneck)
+			}
+		}
+	}
+}
+
+// TestPartitionStagesContiguous: every stage is a contiguous run of
+// the GPU topological order and covers it exactly once.
+func TestPartitionStagesContiguous(t *testing.T) {
+	g, err := gen.Generate(gen.PipelineConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sim.NewSystem(4, 16<<30)
+	part, err := PartitionDP(g, sys, sys.GPUs(), 2)
+	if err != nil {
+		t.Fatalf("PartitionDP: %v", err)
+	}
+	seen := make(map[graph.NodeID]bool)
+	for _, st := range part.Stages {
+		for _, id := range st.Nodes {
+			if seen[id] {
+				t.Fatalf("node %d in two stages", id)
+			}
+			seen[id] = true
+		}
+	}
+	gpuOps := 0
+	for _, n := range g.Nodes() {
+		if n.Kind == graph.KindGPU {
+			gpuOps++
+			if !seen[n.ID] {
+				t.Fatalf("GPU op %d in no stage", n.ID)
+			}
+		}
+	}
+	if len(seen) != gpuOps {
+		t.Fatalf("stages cover %d ops, graph has %d", len(seen), gpuOps)
+	}
+}

@@ -1,0 +1,208 @@
+// Package pipeline plans microbatched pipeline-parallel execution of a
+// DNN graph: it cuts the (coarsened) model into contiguous stages with
+// a Tarnawski-style dynamic program over (split point, device count)
+// minimizing the bottleneck stage time, generates GPipe and 1F1B
+// microbatch schedules over the stages, scores every (partition,
+// schedule) candidate on the discrete-event simulator, and returns the
+// best pair with bubble-fraction, per-stage utilization and peak-memory
+// accounting.
+//
+// The package deliberately knows nothing about internal/placement: the
+// placement ladder exposes it as the StagePipelineDP rung and as the
+// Options.Pipeline planning regime, but everything here works from a
+// graph, a system and an Options value alone.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ScheduleKind names a microbatch schedule discipline.
+type ScheduleKind int
+
+const (
+	// ScheduleAuto tries every discipline and keeps the best.
+	ScheduleAuto ScheduleKind = iota
+	// ScheduleGPipe is the fill-drain schedule: every stage runs all M
+	// forward microbatches, then all M backward microbatches in LIFO
+	// order. Simple, but holds M activations per stage.
+	ScheduleGPipe
+	// Schedule1F1B is the PipeDream-flush schedule: after a short
+	// warmup each stage alternates one forward with one backward,
+	// bounding live activations near the stage depth instead of M.
+	Schedule1F1B
+)
+
+// String implements fmt.Stringer with the names ParseSchedule accepts.
+func (k ScheduleKind) String() string {
+	switch k {
+	case ScheduleAuto:
+		return "auto"
+	case ScheduleGPipe:
+		return "gpipe"
+	case Schedule1F1B:
+		return "1f1b"
+	default:
+		return fmt.Sprintf("ScheduleKind(%d)", int(k))
+	}
+}
+
+// ErrBadSpec classifies every pipeline option-parse rejection.
+var ErrBadSpec = errors.New("bad pipeline spec")
+
+// ParseSchedule parses a schedule name. It accepts the String() forms
+// plus the common aliases "pipedream" (1F1B) and "fill-drain" (GPipe).
+func ParseSchedule(s string) (ScheduleKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return ScheduleAuto, nil
+	case "gpipe", "fill-drain":
+		return ScheduleGPipe, nil
+	case "1f1b", "pipedream":
+		return Schedule1F1B, nil
+	default:
+		return 0, fmt.Errorf("unknown schedule %q (want auto, gpipe or 1f1b): %w", s, ErrBadSpec)
+	}
+}
+
+// Options selects the pipeline planning regime and its shape. The zero
+// value (Microbatches == 0) means "no pipeline": placement treats the
+// step as a one-shot FIFO graph exactly as before.
+type Options struct {
+	// Microbatches is M, the number of microbatches the training step
+	// is split into. Zero disables pipeline planning; one degenerates
+	// to a staged single-shot step.
+	Microbatches int
+	// Schedule picks the microbatch discipline; ScheduleAuto (zero)
+	// scores both GPipe and 1F1B and keeps the better plan.
+	Schedule ScheduleKind
+	// MaxStages caps the number of pipeline stages searched; zero
+	// means the number of usable GPUs.
+	MaxStages int
+	// BackwardRatio is the backward-pass compute cost as a multiple of
+	// the forward cost (the usual rule of thumb is 2x). Zero means 2;
+	// negative means a forward-only (inference) pipeline with no
+	// backward tasks at all.
+	BackwardRatio float64
+}
+
+// Enabled reports whether pipeline planning was requested.
+func (o Options) Enabled() bool { return o.Microbatches > 0 }
+
+// WithDefaults resolves the zero-value rules.
+func (o Options) WithDefaults() Options {
+	if o.BackwardRatio == 0 {
+		o.BackwardRatio = 2
+	}
+	return o
+}
+
+// MaxMicrobatches bounds M: beyond this the replicated graph stops
+// being a planning artifact and becomes a memory hazard.
+const MaxMicrobatches = 512
+
+// Validate rejects out-of-range options.
+func (o Options) Validate() error {
+	if o.Microbatches < 0 || o.Microbatches > MaxMicrobatches {
+		return fmt.Errorf("microbatches %d out of [0, %d]: %w", o.Microbatches, MaxMicrobatches, ErrBadSpec)
+	}
+	if o.MaxStages < 0 || o.MaxStages > 4096 {
+		return fmt.Errorf("max stages %d out of [0, 4096]: %w", o.MaxStages, ErrBadSpec)
+	}
+	switch o.Schedule {
+	case ScheduleAuto, ScheduleGPipe, Schedule1F1B:
+	default:
+		return fmt.Errorf("unknown schedule %v: %w", o.Schedule, ErrBadSpec)
+	}
+	return nil
+}
+
+// ParseSpec parses the compact CLI form of Options: comma-separated
+// key=value clauses, e.g. "mb=8,sched=1f1b,stages=4,bwd=2". Keys:
+//
+//	mb      microbatch count M (required for the spec to enable anything)
+//	sched   auto | gpipe | 1f1b (aliases: pipedream, fill-drain)
+//	stages  maximum stage count (default: all usable GPUs)
+//	bwd     backward/forward cost ratio; 0 means forward-only
+//
+// An empty spec returns the zero (disabled) Options.
+func ParseSpec(spec string) (Options, error) {
+	var o Options
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return o, nil
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return Options{}, fmt.Errorf("clause %q is not key=value: %w", clause, ErrBadSpec)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "mb", "microbatches":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Options{}, fmt.Errorf("mb=%q: %v: %w", val, err, ErrBadSpec)
+			}
+			o.Microbatches = n
+		case "sched", "schedule":
+			k, err := ParseSchedule(val)
+			if err != nil {
+				return Options{}, err
+			}
+			o.Schedule = k
+		case "stages", "max-stages":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Options{}, fmt.Errorf("stages=%q: %v: %w", val, err, ErrBadSpec)
+			}
+			o.MaxStages = n
+		case "bwd", "backward-ratio":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Options{}, fmt.Errorf("bwd=%q: %v: %w", val, err, ErrBadSpec)
+			}
+			if f != f || f < 0 || f > 1e6 {
+				return Options{}, fmt.Errorf("bwd=%q out of [0, 1e6]: %w", val, ErrBadSpec)
+			}
+			if f == 0 {
+				f = -1 // explicit forward-only, distinct from "use the default"
+			}
+			o.BackwardRatio = f
+		default:
+			return Options{}, fmt.Errorf("unknown key %q: %w", key, ErrBadSpec)
+		}
+	}
+	if o.Microbatches == 0 {
+		return Options{}, fmt.Errorf("spec %q sets no microbatch count (mb=N): %w", spec, ErrBadSpec)
+	}
+	if err := o.Validate(); err != nil {
+		return Options{}, err
+	}
+	return o, nil
+}
+
+// Spec renders Options back into the ParseSpec form.
+func (o Options) Spec() string {
+	if !o.Enabled() {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "mb=%d,sched=%s", o.Microbatches, o.Schedule)
+	if o.MaxStages > 0 {
+		fmt.Fprintf(&b, ",stages=%d", o.MaxStages)
+	}
+	if o.BackwardRatio < 0 {
+		b.WriteString(",bwd=0")
+	} else if o.BackwardRatio > 0 {
+		fmt.Fprintf(&b, ",bwd=%g", o.BackwardRatio)
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Options
+		bad  bool
+	}{
+		{spec: "", want: Options{}},
+		{spec: "mb=8", want: Options{Microbatches: 8}},
+		{spec: "mb=8,sched=1f1b", want: Options{Microbatches: 8, Schedule: Schedule1F1B}},
+		{spec: "mb=4, sched=gpipe, stages=2, bwd=1.5", want: Options{Microbatches: 4, Schedule: ScheduleGPipe, MaxStages: 2, BackwardRatio: 1.5}},
+		{spec: "microbatches=2,schedule=pipedream", want: Options{Microbatches: 2, Schedule: Schedule1F1B}},
+		{spec: "mb=4,bwd=0", want: Options{Microbatches: 4, BackwardRatio: -1}},
+		{spec: "sched=gpipe", bad: true},        // no mb
+		{spec: "mb=nope", bad: true},            // unparsable
+		{spec: "mb=8,zap=1", bad: true},         // unknown key
+		{spec: "mb=8,sched=wat", bad: true},     // unknown schedule
+		{spec: "mb=-1", bad: true},              // out of range
+		{spec: "mb=100000", bad: true},          // over MaxMicrobatches
+		{spec: "mb=8,bwd=NaN", bad: true},       // NaN rejected
+		{spec: "mb=8,bwd=-3", bad: true},        // negative ratio is spelled bwd=0
+		{spec: "mb", bad: true},                 // not key=value
+		{spec: "mb=4,stages=100000", bad: true}, // stage cap
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.spec)
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParseSpec(%q) accepted, want error", c.spec)
+			} else if !errors.Is(err, ErrBadSpec) {
+				t.Errorf("ParseSpec(%q) error %v does not wrap ErrBadSpec", c.spec, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, o := range []Options{
+		{Microbatches: 8},
+		{Microbatches: 4, Schedule: Schedule1F1B, MaxStages: 3},
+		{Microbatches: 2, Schedule: ScheduleGPipe, BackwardRatio: 1.5},
+		{Microbatches: 16, BackwardRatio: -1},
+	} {
+		back, err := ParseSpec(o.Spec())
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", o.Spec(), err)
+			continue
+		}
+		// Spec() renders the resolved schedule name, so compare after
+		// normalizing the zero (auto) schedule.
+		want := o
+		if back != want {
+			t.Errorf("round trip %q: %+v -> %+v", o.Spec(), o, back)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{Microbatches: 4}.WithDefaults()
+	if o.BackwardRatio != 2 {
+		t.Errorf("default BackwardRatio = %g, want 2", o.BackwardRatio)
+	}
+	fwd := Options{Microbatches: 4, BackwardRatio: -1}.WithDefaults()
+	if fwd.BackwardRatio != -1 {
+		t.Errorf("forward-only ratio rewritten to %g", fwd.BackwardRatio)
+	}
+	if (Options{}).Enabled() {
+		t.Error("zero Options reports enabled")
+	}
+	if !o.Enabled() {
+		t.Error("mb=4 Options reports disabled")
+	}
+}

@@ -1,0 +1,137 @@
+package placement
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pesto/internal/gen"
+	"pesto/internal/graph"
+	"pesto/internal/sim"
+)
+
+// TestReplanArrivalRebalances: a plan computed on the survivors of a
+// failure rebalances onto the recovered device and never ends up
+// slower than the pre-arrival incumbent.
+func TestReplanArrivalRebalances(t *testing.T) {
+	g, err := gen.Generate(gen.Config{Family: gen.Layered, Seed: 21, Nodes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sim.NewSystem(4, gpuMem)
+	const arrived = sim.DeviceID(4)
+
+	// Plan while the device is down, then bring it back.
+	down := sys.WithFailedDevice(arrived)
+	res, err := PlaceMultiGPU(context.Background(), g, down, Options{ILPTimeLimit: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("PlaceMultiGPU on degraded system: %v", err)
+	}
+	rr, err := ReplanArrival(context.Background(), g, sys, res.Plan, arrived, Options{ILPTimeLimit: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("ReplanArrival: %v", err)
+	}
+	if err := rr.Plan.Validate(g, sys); err != nil {
+		t.Fatalf("rebalanced plan invalid: %v", err)
+	}
+	if err := rr.Plan.CheckMemory(g, sys); err != nil {
+		t.Fatalf("rebalanced plan violates memory: %v", err)
+	}
+	step, err := sim.Run(g, sys, rr.Plan)
+	if err != nil {
+		t.Fatalf("rebalanced step does not simulate: %v", err)
+	}
+	if step.Makespan != rr.Makespan {
+		t.Fatalf("reported makespan %v != simulated %v", rr.Makespan, step.Makespan)
+	}
+	if rr.PrevMakespan <= 0 {
+		t.Fatal("PrevMakespan missing")
+	}
+	if rr.Makespan > rr.PrevMakespan {
+		t.Fatalf("arrival made things worse: %v -> %v (incumbent seeding must prevent this)",
+			rr.PrevMakespan, rr.Makespan)
+	}
+	if rr.RecoveryDelta != rr.Makespan-rr.PrevMakespan {
+		t.Fatalf("RecoveryDelta = %v, want %v", rr.RecoveryDelta, rr.Makespan-rr.PrevMakespan)
+	}
+	if rr.Provenance.Stage != StageReplan {
+		t.Fatalf("Provenance.Stage = %v, want %v", rr.Provenance.Stage, StageReplan)
+	}
+	if rr.Provenance.Degraded {
+		t.Fatal("scale-up marked degraded")
+	}
+}
+
+// TestReplanArrivalMovesWork: with a heavily loaded pool the arrival
+// actually receives operations.
+func TestReplanArrivalMovesWork(t *testing.T) {
+	// Two independent heavy chains with tiny tensors: splitting across
+	// two GPUs halves the step, so the arrival must end up used.
+	g := graph.New(17)
+	in := g.AddNode(graph.Node{Name: "input", Kind: graph.KindCPU, Cost: 10 * time.Microsecond})
+	for c := 0; c < 2; c++ {
+		prev := in
+		for i := 0; i < 8; i++ {
+			id := g.AddNode(graph.Node{Name: "op", Kind: graph.KindGPU, Cost: 500 * time.Microsecond, Memory: 1 << 20})
+			_ = g.AddEdge(prev, id, 1<<10)
+			prev = id
+		}
+	}
+	sys := sim.NewSystem(2, gpuMem)
+	// Everything on GPU 1; GPU 2 "arrives".
+	plan := singleGPUPlan(g, sys)
+	if err := plan.Validate(g, sys); err != nil {
+		t.Fatalf("seed plan invalid: %v", err)
+	}
+	rr, err := ReplanArrival(context.Background(), g, sys, plan, 2, Options{ILPTimeLimit: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("ReplanArrival: %v", err)
+	}
+	onArrived := 0
+	for _, d := range rr.Plan.Device {
+		if d == 2 {
+			onArrived++
+		}
+	}
+	if rr.Migrated == 0 {
+		t.Fatal("no operations migrated onto the arrival")
+	}
+	if onArrived == 0 {
+		t.Fatal("final plan leaves the arrival empty")
+	}
+}
+
+// TestReplanArrivalRejects: non-GPU and failed arrivals are errors, as
+// is an invalid source plan.
+func TestReplanArrivalRejects(t *testing.T) {
+	g, err := gen.Generate(gen.Config{Family: gen.Diamond, Seed: 5, Nodes: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sim.NewSystem(2, gpuMem)
+	plan := singleGPUPlan(g, sys)
+	if _, err := ReplanArrival(context.Background(), g, sys, plan, 0, Options{}); !errors.Is(err, ErrUnsupportedSystem) {
+		t.Fatalf("CPU arrival: err = %v, want ErrUnsupportedSystem", err)
+	}
+	if _, err := ReplanArrival(context.Background(), g, sys.WithFailedDevice(2), plan, 2, Options{}); !errors.Is(err, ErrUnsupportedSystem) {
+		t.Fatalf("failed arrival: err = %v, want ErrUnsupportedSystem", err)
+	}
+	if _, err := ReplanArrival(context.Background(), g, sys, sim.Plan{}, 2, Options{}); err == nil {
+		t.Fatal("empty source plan accepted")
+	}
+}
+
+// singleGPUPlan pins every CPU-affine op to the host and every GPU op
+// to GPU 1, the densest "pre-arrival" incumbent.
+func singleGPUPlan(g *graph.Graph, sys sim.System) sim.Plan {
+	dev := make([]sim.DeviceID, g.NumNodes())
+	for _, n := range g.Nodes() {
+		if sys.CompatibleDevice(n.Kind, 0) {
+			dev[n.ID] = 0
+		} else {
+			dev[n.ID] = 1
+		}
+	}
+	return sim.Plan{Device: dev, Policy: sim.PolicyFIFO}
+}

@@ -8,6 +8,9 @@ import "time"
 // few hundred milliseconds; below that only the near-instant baseline
 // heuristics can answer in time.
 const (
+	// pipelineDeadline is the minimum budget at which the
+	// contiguous-split DP rung is attempted.
+	pipelineDeadline = 100 * time.Millisecond
 	// refineDeadline is the minimum budget at which the
 	// warm-start+refinement rung is attempted.
 	refineDeadline = 250 * time.Millisecond
@@ -31,8 +34,10 @@ func StageForDeadline(budget time.Duration) Stage {
 	switch {
 	case budget <= 0:
 		return StageILP
-	case budget < refineDeadline:
+	case budget < pipelineDeadline:
 		return StageFallback
+	case budget < refineDeadline:
+		return StagePipelineDP
 	case budget < ilpDeadline:
 		return StageRefine
 	default:
@@ -42,9 +47,9 @@ func StageForDeadline(budget time.Duration) Stage {
 
 // stagesFrom drops the ladder rungs above start, keeping at least the
 // last rung so every request gets some answer. Rungs are ordered by
-// their Stage value (StageILP < StageRefine < StageFallback). The
-// dropped rungs come back as skipped, so Provenance.Stages can report
-// why they never ran.
+// their Stage value (StageILP < StageRefine < StagePipelineDP <
+// StageFallback). The dropped rungs come back as skipped, so
+// Provenance.Stages can report why they never ran.
 func stagesFrom(stages []stageDef, start Stage) (kept []stageDef, skipped []Stage) {
 	for len(stages) > 1 && stages[0].stage < start {
 		skipped = append(skipped, stages[0].stage)

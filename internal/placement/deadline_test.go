@@ -17,7 +17,9 @@ func TestStageForDeadline(t *testing.T) {
 		{0, StageILP},
 		{-time.Second, StageILP},
 		{50 * time.Millisecond, StageFallback},
-		{refineDeadline - time.Nanosecond, StageFallback},
+		{pipelineDeadline - time.Nanosecond, StageFallback},
+		{pipelineDeadline, StagePipelineDP},
+		{refineDeadline - time.Nanosecond, StagePipelineDP},
 		{refineDeadline, StageRefine},
 		{time.Second, StageRefine},
 		{ilpDeadline, StageILP},
@@ -65,7 +67,7 @@ func TestPlaceStartStage(t *testing.T) {
 		t.Fatalf("generate: %v", err)
 	}
 	sys := sim.NewSystem(2, 16<<30)
-	for _, start := range []Stage{StageRefine, StageFallback} {
+	for _, start := range []Stage{StageRefine, StagePipelineDP, StageFallback} {
 		var seen []Stage
 		res, err := Place(context.Background(), g, sys, Options{
 			ILPTimeLimit: 2 * time.Second,

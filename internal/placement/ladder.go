@@ -11,6 +11,7 @@ import (
 	"pesto/internal/graph"
 	"pesto/internal/ilp"
 	"pesto/internal/obs"
+	"pesto/internal/pipeline"
 	"pesto/internal/sim"
 )
 
@@ -44,6 +45,15 @@ const (
 	// list-scheduling placements and hill-climbing refinement
 	// (placeRefine) — also the primary pipeline for k > 2 GPUs.
 	StageRefine
+	// StagePipelineDP is the contiguous-split rung: the Tarnawski-style
+	// dynamic program over (split point, device count) cuts the coarse
+	// graph's topological order into per-device stages minimizing the
+	// bottleneck stage time, then the best of that split and the
+	// baseline placements wins (placePipelineDP). Much cheaper than
+	// refinement, stronger than the bare baselines on deep models —
+	// and, with Options.Pipeline set, the rung that plans microbatched
+	// pipeline execution (see internal/pipeline).
+	StagePipelineDP
 	// StageFallback is the last rung: the best of the Baechi
 	// heuristics, HEFT and single-GPU, simulated and picked by
 	// realized makespan (placeFallback). Near-instant.
@@ -64,6 +74,8 @@ func (s Stage) String() string {
 		return "ilp-exact"
 	case StageRefine:
 		return "warm-start+refine"
+	case StagePipelineDP:
+		return "pipeline-dp"
 	case StageFallback:
 		return "heuristic-fallback"
 	case StageReplan:
@@ -125,6 +137,12 @@ type Provenance struct {
 	// came through Incremental (on both its warm and cold-fallback
 	// paths); nil for ordinary cold solves.
 	Incremental *IncrementalInfo
+	// Pipeline records the winning (partition, schedule) pair — stage
+	// layout, microbatch schedule, simulated step time, bubble
+	// fraction, per-stage utilization and peak memory — when the plan
+	// came through the Options.Pipeline planning regime; nil
+	// otherwise.
+	Pipeline *pipeline.Info
 }
 
 // Err returns nil for a non-degraded result, and otherwise an error
@@ -180,12 +198,20 @@ func Place(ctx context.Context, g *graph.Graph, sys sim.System, opts Options) (*
 	ctx, span := obs.Start(ctx, "placement.place", obs.Int("graph-nodes", int64(g.NumNodes())))
 	var res *Result
 	var err error
-	if opts.DisableFallback {
+	if opts.Pipeline.Enabled() {
+		// The microbatched pipeline regime is a different planning
+		// problem (minimize step time over M microbatches, not
+		// single-shot makespan); it runs directly, not as a ladder rung,
+		// so its provenance — including the winning (partition,
+		// schedule) pair — survives intact.
+		res, err = placePipeline(ctx, g, sys, opts)
+	} else if opts.DisableFallback {
 		res, err = placeILP(ctx, g, sys, opts)
 	} else {
 		kept, skipped := stagesFrom([]stageDef{
 			{StageILP, placeILP},
 			{StageRefine, placeRefine},
+			{StagePipelineDP, placePipelineDP},
 			{StageFallback, placeFallback},
 		}, opts.StartStage)
 		res, err = runLadder(ctx, g, sys, opts, kept, skipped)

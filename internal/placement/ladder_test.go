@@ -189,8 +189,8 @@ func TestMultiGPULadderFallsBack(t *testing.T) {
 	res, err := PlaceMultiGPU(context.Background(), g, sys, Options{
 		ILPTimeLimit: 5 * time.Second,
 		StageHook: func(s Stage) error {
-			if s == StageRefine {
-				panic("refine crash")
+			if s == StageRefine || s == StagePipelineDP {
+				panic(s.String() + " crash")
 			}
 			return nil
 		},

@@ -36,12 +36,18 @@ func PlaceMultiGPU(ctx context.Context, g *graph.Graph, sys sim.System, opts Opt
 		obs.Int("graph-nodes", int64(g.NumNodes())), obs.Int("gpus", int64(len(gpus))))
 	var res *Result
 	var err error
-	if opts.DisableFallback {
+	if opts.Pipeline.Enabled() {
+		// See Place: the pipeline regime bypasses the ladder so its
+		// provenance survives.
+		res, err = placePipeline(ctx, g, sys, opts)
+	} else if opts.DisableFallback {
 		res, err = placeRefine(ctx, g, sys, opts)
 	} else {
-		// k > 2 has no exact rung; its ladder is refine → heuristics.
+		// k > 2 has no exact rung; its ladder is refine →
+		// contiguous-split DP → heuristics.
 		kept, skipped := stagesFrom([]stageDef{
 			{StageRefine, placeRefine},
+			{StagePipelineDP, placePipelineDP},
 			{StageFallback, placeFallback},
 		}, opts.StartStage)
 		res, err = runLadder(ctx, g, sys, opts, kept, skipped)

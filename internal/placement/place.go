@@ -14,6 +14,7 @@ import (
 	"pesto/internal/graph"
 	"pesto/internal/ilp"
 	"pesto/internal/obs"
+	"pesto/internal/pipeline"
 	"pesto/internal/sim"
 )
 
@@ -145,6 +146,15 @@ type Options struct {
 	// a periodic cold solve re-anchors it. Zero means 9; negative
 	// disables the bound.
 	IncrMaxChain int
+	// Pipeline selects the microbatched pipeline-parallel planning
+	// regime (Microbatches > 0): Place cuts the coarse graph into
+	// contiguous stages with the contiguous-split DP, searches GPipe
+	// and 1F1B schedules over Options.Pipeline.Microbatches
+	// microbatches on the simulator, and returns the stage placement
+	// with the winning (partition, schedule) pair recorded in
+	// Result.Provenance.Pipeline. The zero value keeps the classic
+	// one-shot FIFO regime.
+	Pipeline pipeline.Options
 	// Verify re-proves every returned plan against the independent
 	// invariant checker (internal/verify) — precedence, colocation,
 	// affinity, memory, link discipline and makespan accounting — and
@@ -193,6 +203,7 @@ func (o Options) withDefaults() Options {
 	if o.IncrMaxChain == 0 {
 		o.IncrMaxChain = 9
 	}
+	o.Pipeline = o.Pipeline.WithDefaults()
 	return o
 }
 
@@ -721,7 +732,7 @@ func (h *heuristic) seedCandidates() [][]sim.DeviceID {
 			maxLayer = nd.Layer
 		}
 	}
-	return [][]sim.DeviceID{
+	seeds := [][]sim.DeviceID{
 		mk(func(int, graph.NodeID) int { return 0 }),
 		mk(func(pos int, _ graph.NodeID) int { return pos % k }),
 		mk(func(pos int, _ graph.NodeID) int { return (pos / 2) % k }),
@@ -733,6 +744,44 @@ func (h *heuristic) seedCandidates() [][]sim.DeviceID {
 			return nodes[id].Layer * k / (maxLayer + 1)
 		}),
 	}
+	// The contiguous-split DP's bottleneck-optimal split (forward-only
+	// cost model, matching the FIFO scoring below). Seeding it here
+	// keeps the ladder monotone through the StagePipelineDP rung: the
+	// refine rung starts from at least as good a basin as the DP rung
+	// can serve.
+	if dp := dpSplitAssign(h.cg, h.sys); dp != nil {
+		seeds = append(seeds, dp)
+	}
+	return seeds
+}
+
+// dpSplitAssign runs the pipeline package's contiguous-split DP over
+// the heuristic's coarse graph and returns the stage assignment as a
+// device vector, or nil when no feasible split exists.
+func dpSplitAssign(cg *graph.Graph, sys sim.System) []sim.DeviceID {
+	gpus := sys.GPUs()
+	var part *pipeline.Partition
+	// Fewer GPU groups than GPUs (tiny coarse graphs) still deserve a
+	// seed: shrink the stage count until a split exists.
+	for S := len(gpus); S >= 1 && part == nil; S-- {
+		if p, err := pipeline.PartitionDP(cg, sys, gpus[:S], -1); err == nil {
+			part = p
+		}
+	}
+	if part == nil {
+		return nil
+	}
+	assign := make([]sim.DeviceID, cg.NumNodes())
+	cpu := sys.CPUID()
+	for i := range assign {
+		assign[i] = cpu
+	}
+	for _, st := range part.Stages {
+		for _, id := range st.Nodes {
+			assign[id] = st.Device
+		}
+	}
+	return assign
 }
 
 // seedAssignments evaluates the seedCandidates placements before any

@@ -78,10 +78,10 @@ func TestStageReportsSkippedRungs(t *testing.T) {
 		t.Fatalf("Place: %v", err)
 	}
 	st := res.Provenance.Stages
-	if len(st) != 3 {
-		t.Fatalf("Stages = %+v, want [skipped ilp, skipped refine, winning fallback]", st)
+	if len(st) != 4 {
+		t.Fatalf("Stages = %+v, want [skipped ilp, skipped refine, skipped pipeline-dp, winning fallback]", st)
 	}
-	for i, want := range []Stage{StageILP, StageRefine} {
+	for i, want := range []Stage{StageILP, StageRefine, StagePipelineDP} {
 		if st[i].Stage != want {
 			t.Errorf("Stages[%d].Stage = %v, want %v", i, st[i].Stage, want)
 		}
@@ -92,8 +92,8 @@ func TestStageReportsSkippedRungs(t *testing.T) {
 			t.Errorf("Stages[%d].Duration = %v, want 0 (never ran)", i, st[i].Duration)
 		}
 	}
-	if st[2].Stage != StageFallback || st[2].Err != nil {
-		t.Fatalf("winning report = %+v, want {heuristic-fallback, nil}", st[2])
+	if st[3].Stage != StageFallback || st[3].Err != nil {
+		t.Fatalf("winning report = %+v, want {heuristic-fallback, nil}", st[3])
 	}
 }
 

@@ -41,6 +41,15 @@ type metrics struct {
 	// fleet-wide dirty fraction.
 	incrDirtyGroups int64
 	incrGroups      int64
+	// pipelinePlans[schedule] counts pipeline-regime plans by the
+	// winning microbatch discipline.
+	pipelinePlans map[string]int64
+	// pipelineStages totals the stage counts of served pipeline plans;
+	// pipelineBubbleSum/Count aggregate their bubble fractions (the
+	// ratio is the fleet-wide mean bubble).
+	pipelineStages      int64
+	pipelineBubbleSum   float64
+	pipelineBubbleCount int64
 	// Solver-progress totals harvested from per-request recorders.
 	bnbNodes   int64
 	lpPivots   int64
@@ -64,12 +73,24 @@ type solveHistogram struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests:    make(map[string]map[string]int64),
-		cacheEvents: make(map[string]int64),
-		planStages:  make(map[string]int64),
-		solveHist:   make(map[string]*solveHistogram),
-		incrSolves:  make(map[string]int64),
+		requests:      make(map[string]map[string]int64),
+		cacheEvents:   make(map[string]int64),
+		planStages:    make(map[string]int64),
+		solveHist:     make(map[string]*solveHistogram),
+		incrSolves:    make(map[string]int64),
+		pipelinePlans: make(map[string]int64),
 	}
+}
+
+// pipelinePlanServed records one pipeline-regime plan: the winning
+// discipline, its stage count and its bubble fraction.
+func (m *metrics) pipelinePlanServed(schedule string, stages int, bubble float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pipelinePlans[schedule]++
+	m.pipelineStages += int64(stages)
+	m.pipelineBubbleSum += bubble
+	m.pipelineBubbleCount++
 }
 
 // incremental records one delta solve outcome and its coarse-group
@@ -180,6 +201,19 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintln(w, "# HELP pestod_incremental_groups_total Coarse groups processed by delta solves.")
 	fmt.Fprintln(w, "# TYPE pestod_incremental_groups_total counter")
 	fmt.Fprintf(w, "pestod_incremental_groups_total %d\n", m.incrGroups)
+
+	fmt.Fprintln(w, "# HELP pestod_pipeline_plans_total Pipeline-regime plans by winning microbatch schedule.")
+	fmt.Fprintln(w, "# TYPE pestod_pipeline_plans_total counter")
+	for _, sc := range sortedKeys(m.pipelinePlans) {
+		fmt.Fprintf(w, "pestod_pipeline_plans_total{schedule=%q} %d\n", sc, m.pipelinePlans[sc])
+	}
+	fmt.Fprintln(w, "# HELP pestod_pipeline_stages_total Pipeline stages across served pipeline plans.")
+	fmt.Fprintln(w, "# TYPE pestod_pipeline_stages_total counter")
+	fmt.Fprintf(w, "pestod_pipeline_stages_total %d\n", m.pipelineStages)
+	fmt.Fprintln(w, "# HELP pestod_pipeline_bubble_fraction Bubble fractions of served pipeline plans.")
+	fmt.Fprintln(w, "# TYPE pestod_pipeline_bubble_fraction summary")
+	fmt.Fprintf(w, "pestod_pipeline_bubble_fraction_sum %g\n", m.pipelineBubbleSum)
+	fmt.Fprintf(w, "pestod_pipeline_bubble_fraction_count %d\n", m.pipelineBubbleCount)
 
 	fmt.Fprintln(w, "# HELP pestod_queue_depth Requests waiting for a solver slot.")
 	fmt.Fprintln(w, "# TYPE pestod_queue_depth gauge")

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pesto/internal/graph"
+	"pesto/internal/pipeline"
 	"pesto/internal/placement"
 	"pesto/internal/sim"
 )
@@ -70,6 +71,14 @@ type RequestOptions struct {
 	// fresh and its result is not stored. Benchmarks and ablations use
 	// it; production callers should not.
 	NoCache bool `json:"noCache,omitempty"`
+	// PipelineMicrobatches switches the solve into the microbatched
+	// pipeline-parallel planning regime with this many microbatches.
+	// Zero (the default) keeps the classic single-shot ladder.
+	PipelineMicrobatches int `json:"pipelineMicrobatches,omitempty"`
+	// PipelineSchedule pins the microbatch discipline ("gpipe" or
+	// "1f1b"); empty means the planner scores both and keeps the
+	// better. Only valid with PipelineMicrobatches > 0.
+	PipelineSchedule string `json:"pipelineSchedule,omitempty"`
 }
 
 // normalized resolves defaults and enforces bounds. The returned
@@ -107,6 +116,27 @@ func (o RequestOptions) normalized(cfg Config) (RequestOptions, error) {
 	if max := cfg.MaxBudget.Milliseconds(); o.BudgetMs > max {
 		o.BudgetMs = max
 	}
+	if o.PipelineMicrobatches < 0 || o.PipelineMicrobatches > pipeline.MaxMicrobatches {
+		return o, fmt.Errorf("pipelineMicrobatches %d out of range [0,%d]: %w",
+			o.PipelineMicrobatches, pipeline.MaxMicrobatches, ErrBadRequest)
+	}
+	if o.PipelineSchedule != "" {
+		if o.PipelineMicrobatches == 0 {
+			return o, fmt.Errorf("pipelineSchedule without pipelineMicrobatches: %w", ErrBadRequest)
+		}
+		kind, err := pipeline.ParseSchedule(o.PipelineSchedule)
+		if err != nil {
+			return o, fmt.Errorf("pipelineSchedule %q: %v: %w", o.PipelineSchedule, err, ErrBadRequest)
+		}
+		// Canonical name, so aliases ("fill-drain", "pipedream") share a
+		// cache key with their canonical spelling; "auto" folds into the
+		// empty default for the same reason.
+		if kind == pipeline.ScheduleAuto {
+			o.PipelineSchedule = ""
+		} else {
+			o.PipelineSchedule = kind.String()
+		}
+	}
 	return o, nil
 }
 
@@ -128,7 +158,7 @@ func (o RequestOptions) system() sim.System {
 // leaves the server) unchecked.
 func (o RequestOptions) placeOptions(cfg Config) placement.Options {
 	budget := o.budget()
-	return placement.Options{
+	opts := placement.Options{
 		ILPTimeLimit:    budget,
 		StartStage:      placement.StageForDeadline(budget),
 		Seed:            o.Seed,
@@ -136,11 +166,16 @@ func (o RequestOptions) placeOptions(cfg Config) placement.Options {
 		ScheduleFromILP: o.ScheduleFromILP,
 		Verify:          true,
 	}
+	if o.PipelineMicrobatches > 0 {
+		kind, _ := pipeline.ParseSchedule(o.PipelineSchedule) // normalized already validated it
+		opts.Pipeline = pipeline.Options{Microbatches: o.PipelineMicrobatches, Schedule: kind}
+	}
+	return opts
 }
 
 // cacheKeyVersion is folded into every cache key so the key changes
 // whenever the response schema or the option serialization does.
-const cacheKeyVersion = "pesto/service-key/v1\n"
+const cacheKeyVersion = "pesto/service-key/v2\n"
 
 // cacheKey derives the content address of a request: the graph's
 // canonical fingerprint combined with every normalized option that can
@@ -166,6 +201,9 @@ func (o RequestOptions) cacheKey(fp [32]byte) [32]byte {
 		b = 1
 	}
 	u64(b)
+	u64(uint64(o.PipelineMicrobatches))
+	u64(uint64(len(o.PipelineSchedule)))
+	h.Write([]byte(o.PipelineSchedule))
 	var out [32]byte
 	h.Sum(out[:0])
 	return out
@@ -197,6 +235,10 @@ type PlaceResponse struct {
 	// Verified records that the plan passed the independent invariant
 	// checker before entering the cache. Always true on success paths.
 	Verified bool `json:"verified"`
+	// Pipeline carries the microbatched pipeline provenance (stage
+	// shape, schedule, bubble fraction, per-stage utilization and peak
+	// memory) when the solve ran in the pipeline regime.
+	Pipeline *pipeline.Info `json:"pipeline,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response. RequestID

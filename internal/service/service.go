@@ -419,6 +419,9 @@ func (s *Server) solve(ctx context.Context, g *graph.Graph, fp, key [32]byte, op
 	}
 	s.met.observeSolve(elapsed, res.Provenance.Stage.String())
 	s.met.planServed(res.Provenance.Stage.String())
+	if pi := res.Provenance.Pipeline; pi != nil {
+		s.met.pipelinePlanServed(pi.Schedule, pi.Stages, pi.Bubble)
+	}
 
 	resp := PlaceResponse{
 		Fingerprint: hex.EncodeToString(fp[:]),
@@ -429,6 +432,7 @@ func (s *Server) solve(ctx context.Context, g *graph.Graph, fp, key [32]byte, op
 		MakespanNs:  int64(res.SimulatedMakespan),
 		PredictedNs: int64(res.PredictedMakespan),
 		Verified:    true, // placeOptions forces Verify; failures error out above
+		Pipeline:    res.Provenance.Pipeline,
 	}
 	return json.Marshal(resp)
 }

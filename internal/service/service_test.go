@@ -428,3 +428,100 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Fatalf("GET /v1/place: status %d, want 405", resp.StatusCode)
 	}
 }
+
+// TestPlacePipelineRequest drives the microbatched pipeline regime
+// through the HTTP surface: the response carries the pipeline
+// provenance, the plan stage is the pipeline rung, the cache key is
+// sensitive to the pipeline options, and the pipeline metrics appear
+// in the exposition.
+func TestPlacePipelineRequest(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	g, err := gen.Generate(gen.PipelineConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(opts RequestOptions) []byte {
+		body, err := json.Marshal(PlaceRequest{Graph: g, Options: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	plain := mk(RequestOptions{BudgetMs: 500})
+	piped := mk(RequestOptions{BudgetMs: 500, PipelineMicrobatches: 4, PipelineSchedule: "gpipe"})
+
+	resp := post(t, ts.URL+"/v1/place", piped)
+	data := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var pr PlaceResponse
+	if err := json.Unmarshal(data, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Stage != "pipeline-dp" || pr.Degraded {
+		t.Fatalf("stage = %q degraded = %v, want pipeline-dp un-degraded", pr.Stage, pr.Degraded)
+	}
+	if pr.Pipeline == nil || pr.Pipeline.Microbatches != 4 || pr.Pipeline.Schedule != "gpipe" {
+		t.Fatalf("pipeline provenance = %+v", pr.Pipeline)
+	}
+	if pr.Pipeline.Bubble < 0 || pr.Pipeline.Bubble >= 1 {
+		t.Fatalf("bubble = %g", pr.Pipeline.Bubble)
+	}
+
+	// A plain request for the same graph gets its own cache entry and
+	// no pipeline provenance.
+	resp = post(t, ts.URL+"/v1/place", plain)
+	data = readAll(t, resp)
+	var plainPr PlaceResponse
+	if err := json.Unmarshal(data, &plainPr); err != nil {
+		t.Fatal(err)
+	}
+	if plainPr.CacheKey == pr.CacheKey {
+		t.Fatal("pipeline options not folded into the cache key")
+	}
+	if plainPr.Pipeline != nil {
+		t.Fatal("single-shot response carries pipeline provenance")
+	}
+
+	// Schedule aliases normalize onto one cache key.
+	resp = post(t, ts.URL+"/v1/place", mk(RequestOptions{BudgetMs: 500, PipelineMicrobatches: 4, PipelineSchedule: "fill-drain"}))
+	data = readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alias status %d: %s", resp.StatusCode, data)
+	}
+	var aliasPr PlaceResponse
+	if err := json.Unmarshal(data, &aliasPr); err != nil {
+		t.Fatal(err)
+	}
+	if aliasPr.CacheKey != pr.CacheKey {
+		t.Fatal("fill-drain and gpipe landed on different cache keys")
+	}
+
+	// Invalid pipeline options are 400s.
+	for name, opts := range map[string]RequestOptions{
+		"schedule-without-mb": {BudgetMs: 500, PipelineSchedule: "gpipe"},
+		"negative-mb":         {BudgetMs: 500, PipelineMicrobatches: -1},
+		"unknown-schedule":    {BudgetMs: 500, PipelineMicrobatches: 4, PipelineSchedule: "zigzag"},
+	} {
+		resp := post(t, ts.URL+"/v1/place", mk(opts))
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, body %s", name, resp.StatusCode, body)
+		}
+	}
+
+	// The pipeline metrics surfaced.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := string(readAll(t, mresp))
+	if !strings.Contains(met, `pestod_pipeline_plans_total{schedule="gpipe"} 1`) {
+		t.Errorf("pipeline plan counter missing from exposition:\n%s", met)
+	}
+	if !strings.Contains(met, "pestod_pipeline_bubble_fraction_count 1") {
+		t.Errorf("bubble summary missing from exposition")
+	}
+	_ = s
+}

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"pesto/internal/graph"
+)
+
+// pipelineFixture builds a hand-placed S=2, M=2 training pipeline with a
+// fully known timeline:
+//
+//	stage 0 (GPU 1): F0 [0,10) F1 [10,20) B1 [40,60) B0 [60,80)
+//	stage 1 (GPU 2): F0 [10,20) F1 [20,30) B1 [30,40) ... B0 waits
+//
+// Backward tasks cost 2x forward. The windows below are authored
+// directly in a Result so the accounting math is checked against exact
+// numbers rather than against the simulator.
+func pipelineFixture() (*graph.Graph, PipelineMeta, Result) {
+	const us = time.Microsecond
+	g := graph.New(8)
+	// Node layout: f[s][m] then b[s][m].
+	var f, b [2][2]graph.NodeID
+	for s := 0; s < 2; s++ {
+		for m := 0; m < 2; m++ {
+			f[s][m] = g.AddNode(gpuNode(10 * us))
+		}
+	}
+	for s := 0; s < 2; s++ {
+		for m := 0; m < 2; m++ {
+			b[s][m] = g.AddNode(gpuNode(20 * us))
+		}
+	}
+	meta := PipelineMeta{
+		Stages:           2,
+		Microbatches:     2,
+		Discipline:       "gpipe",
+		StageOf:          make([]int, 8),
+		MBOf:             make([]int, 8),
+		Backward:         make([]bool, 8),
+		StageDevice:      []DeviceID{1, 2},
+		StageWeightBytes: []int64{100, 200},
+		StageActBytes:    []int64{10, 20},
+	}
+	res := Result{Makespan: 80 * us, Start: make([]time.Duration, 8), Finish: make([]time.Duration, 8)}
+	set := func(id graph.NodeID, s, m int, bwd bool, start, end time.Duration) {
+		meta.StageOf[id], meta.MBOf[id], meta.Backward[id] = s, m, bwd
+		res.Start[id], res.Finish[id] = start, end
+	}
+	set(f[0][0], 0, 0, false, 0, 10*us)
+	set(f[0][1], 0, 1, false, 10*us, 20*us)
+	set(f[1][0], 1, 0, false, 10*us, 20*us)
+	set(f[1][1], 1, 1, false, 20*us, 30*us)
+	set(b[1][1], 1, 1, true, 30*us, 50*us)
+	set(b[1][0], 1, 0, true, 50*us, 70*us)
+	set(b[0][1], 0, 1, true, 50*us, 70*us)
+	set(b[0][0], 0, 0, true, 70*us, 90*us)
+	res.Makespan = 90 * us
+	return g, meta, res
+}
+
+func TestPipelineAccounting(t *testing.T) {
+	g, meta, res := pipelineFixture()
+	stats, bubble, err := PipelineAccounting(g, meta, res)
+	if err != nil {
+		t.Fatalf("PipelineAccounting: %v", err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("got %d stage stats", len(stats))
+	}
+	// Busy: each stage runs 2 forwards (10µs) + 2 backwards (20µs) = 60µs.
+	for s, st := range stats {
+		if st.Busy != 60*time.Microsecond {
+			t.Errorf("stage %d busy = %v, want 60µs", s, st.Busy)
+		}
+		wantUtil := float64(60) / 90
+		if math.Abs(st.Utilization-wantUtil) > 1e-12 {
+			t.Errorf("stage %d utilization = %g, want %g", s, st.Utilization, wantUtil)
+		}
+		if st.Device != meta.StageDevice[s] {
+			t.Errorf("stage %d device = %v", s, st.Device)
+		}
+	}
+	// In-flight: both stages hold both microbatches' activations at once
+	// (mb0 lives to its backward finish, overlapping mb1 entirely).
+	if stats[0].PeakInFlight != 2 || stats[1].PeakInFlight != 2 {
+		t.Errorf("peak in-flight = %d/%d, want 2/2", stats[0].PeakInFlight, stats[1].PeakInFlight)
+	}
+	if want := int64(100 + 2*10); stats[0].PeakMemory != want {
+		t.Errorf("stage 0 peak memory = %d, want %d", stats[0].PeakMemory, want)
+	}
+	if want := int64(200 + 2*20); stats[1].PeakMemory != want {
+		t.Errorf("stage 1 peak memory = %d, want %d", stats[1].PeakMemory, want)
+	}
+	// Bubble: 1 - (60+60) / (2*90) = 1/3.
+	if math.Abs(bubble-1.0/3) > 1e-12 {
+		t.Errorf("bubble = %g, want 1/3", bubble)
+	}
+}
+
+func TestPipelineAccountingSequentialNoOverlap(t *testing.T) {
+	// A single-stage, forward-only "pipeline" where microbatches run
+	// back to back: activation windows touch at one instant but never
+	// overlap, so peak in-flight must stay 1 (releases sort before
+	// acquisitions at equal times).
+	const us = time.Microsecond
+	g := graph.New(2)
+	a := g.AddNode(gpuNode(10 * us))
+	b := g.AddNode(gpuNode(10 * us))
+	meta := PipelineMeta{
+		Stages: 1, Microbatches: 2, Discipline: "gpipe",
+		StageOf: []int{0, 0}, MBOf: []int{0, 1}, Backward: []bool{false, false},
+		StageDevice: []DeviceID{1}, StageWeightBytes: []int64{7}, StageActBytes: []int64{3},
+	}
+	res := Result{
+		Makespan: 20 * us,
+		Start:    []time.Duration{0, 10 * us},
+		Finish:   []time.Duration{10 * us, 20 * us},
+	}
+	_ = a
+	_ = b
+	stats, bubble, err := PipelineAccounting(g, meta, res)
+	if err != nil {
+		t.Fatalf("PipelineAccounting: %v", err)
+	}
+	if stats[0].PeakInFlight != 1 {
+		t.Errorf("back-to-back microbatches double-counted: peak in-flight = %d", stats[0].PeakInFlight)
+	}
+	if stats[0].PeakMemory != 7+3 {
+		t.Errorf("peak memory = %d, want 10", stats[0].PeakMemory)
+	}
+	if bubble != 0 {
+		t.Errorf("fully packed lane reports bubble %g", bubble)
+	}
+}
+
+func TestPipelineMetaValidate(t *testing.T) {
+	_, meta, _ := pipelineFixture()
+	if err := meta.Validate(8); err != nil {
+		t.Fatalf("valid meta rejected: %v", err)
+	}
+	bad := meta
+	bad.Stages = 0
+	if err := bad.Validate(8); err == nil {
+		t.Error("zero stages accepted")
+	}
+	bad = meta
+	if err := bad.Validate(9); err == nil {
+		t.Error("wrong node count accepted")
+	}
+	bad = meta
+	bad.StageOf = append([]int(nil), meta.StageOf...)
+	bad.StageOf[3] = 2
+	if err := bad.Validate(8); err == nil {
+		t.Error("out-of-range stage accepted")
+	}
+	bad = meta
+	bad.MBOf = append([]int(nil), meta.MBOf...)
+	bad.MBOf[5] = 99
+	if err := bad.Validate(8); err == nil {
+		t.Error("out-of-range microbatch accepted")
+	}
+	bad = meta
+	bad.StageDevice = meta.StageDevice[:1]
+	if err := bad.Validate(8); err == nil {
+		t.Error("short StageDevice accepted")
+	}
+}
+
+func TestWithDeviceSpeed(t *testing.T) {
+	sys := NewSystem(2, gpuMem)
+	fast := sys.WithDeviceSpeed(2, 4)
+	if fast.Devices[2].Speed != 4 {
+		t.Fatalf("speed not applied: %g", fast.Devices[2].Speed)
+	}
+	if sys.Devices[2].Speed != 1 {
+		t.Fatal("WithDeviceSpeed mutated the receiver")
+	}
+	// Non-positive speeds and out-of-range devices are no-ops.
+	if got := sys.WithDeviceSpeed(2, 0).Devices[2].Speed; got != 1 {
+		t.Errorf("zero speed applied: %g", got)
+	}
+	if got := sys.WithDeviceSpeed(2, -3).Devices[2].Speed; got != 1 {
+		t.Errorf("negative speed applied: %g", got)
+	}
+	sys.WithDeviceSpeed(99, 2) // must not panic
+}
+
+func TestWithGPUSpeeds(t *testing.T) {
+	sys := NewSystem(3, gpuMem)
+	out := sys.WithGPUSpeeds([]float64{2, 0, 0.5, 7, 7})
+	gpus := out.GPUs()
+	if len(gpus) != 3 {
+		t.Fatalf("GPUs() = %v", gpus)
+	}
+	if out.Devices[gpus[0]].Speed != 2 {
+		t.Errorf("gpu 0 speed = %g, want 2", out.Devices[gpus[0]].Speed)
+	}
+	if out.Devices[gpus[1]].Speed != 1 {
+		t.Errorf("gpu 1 non-positive entry not skipped: %g", out.Devices[gpus[1]].Speed)
+	}
+	if out.Devices[gpus[2]].Speed != 0.5 {
+		t.Errorf("gpu 2 speed = %g, want 0.5", out.Devices[gpus[2]].Speed)
+	}
+	if out.Devices[0].Speed != 1 {
+		t.Error("CPU speed touched by GPU speed list")
+	}
+	for _, d := range sys.Devices {
+		if d.Speed != 1 {
+			t.Fatal("WithGPUSpeeds mutated the receiver")
+		}
+	}
+	// Shorter list than pool: remaining GPUs keep their speed.
+	part := sys.WithGPUSpeeds([]float64{3})
+	if part.Devices[gpus[1]].Speed != 1 || part.Devices[gpus[2]].Speed != 1 {
+		t.Error("unlisted GPUs rescaled")
+	}
+	// Heterogeneous speeds actually change simulated time.
+	g := graph.New(1)
+	g.AddNode(gpuNode(100 * time.Microsecond))
+	r, err := Run(g, sys.WithGPUSpeeds([]float64{4}), Plan{Device: []DeviceID{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 25*time.Microsecond {
+		t.Errorf("4x GPU runs 100µs op in %v, want 25µs", r.Makespan)
+	}
+}

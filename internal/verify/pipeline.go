@@ -1,0 +1,268 @@
+package verify
+
+import (
+	"fmt"
+
+	"pesto/internal/graph"
+	"pesto/internal/sim"
+)
+
+// ErrPipeline marks violations of the pipeline-specific invariants:
+// malformed stage/microbatch coordinates, edges that jump stages,
+// schedule orders that break the claimed discipline (GPipe fill-drain,
+// 1F1B in-flight bound), stage/device inconsistency, per-stage memory
+// over capacity, or cross-stage overlap within a microbatch. It wraps
+// ErrInvariant, so errors.Is(err, ErrInvariant) still matches.
+var ErrPipeline = fmt.Errorf("pipeline invariant: %w", ErrInvariant)
+
+// CheckPipeline verifies a microbatched pipeline execution end to end:
+// it first re-proves every generic invariant via Check (affinity,
+// colocation, precedence, device and link exclusivity, accounting),
+// then re-derives the pipeline-shaped invariants from the metadata and
+// the realized timeline:
+//
+//   - metadata well-formedness (PipelineMeta.Validate);
+//   - stage contiguity at the edge level: forward edges go to the same
+//     or the next stage, backward edges to the same or the previous
+//     stage, a forward task hands off to the backward pass only within
+//     its own (stage, microbatch), and no edge crosses microbatches;
+//   - stage/device consistency: every task of stage s runs on
+//     StageDevice[s], and host-side source tasks on the CPU;
+//   - per-device schedule discipline: forward tasks of a stage run in
+//     ascending microbatch order; GPipe runs every forward before the
+//     first backward and drains backwards LIFO; 1F1B retires backwards
+//     in ascending order and keeps at most min(S-s, M) microbatches
+//     in flight on stage s;
+//   - per-stage peak memory (weights + live activations, re-derived
+//     from the realized timeline by PipelineAccounting) within the
+//     stage device's capacity;
+//   - per-microbatch cross-stage ordering: microbatch m's forward
+//     tasks run in ascending stage order without overlap, its backward
+//     tasks in descending stage order, and each stage's backward task
+//     starts only after its forward task finished.
+//
+// All pipeline-specific rejections wrap ErrPipeline (generic ones keep
+// their own sentinels from Check). On success it returns the realized
+// simulation result, so callers can score the verified execution.
+func CheckPipeline(g *graph.Graph, sys sim.System, plan sim.Plan, meta sim.PipelineMeta) (sim.Result, error) {
+	res, err := Check(g, sys, plan)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	n := g.NumNodes()
+	if verr := meta.Validate(n); verr != nil {
+		return sim.Result{}, fmt.Errorf("%w: %v", ErrPipeline, verr)
+	}
+	if verr := checkPipelineEdges(g, meta); verr != nil {
+		return sim.Result{}, verr
+	}
+	if verr := checkPipelineDevices(g, sys, plan, meta); verr != nil {
+		return sim.Result{}, verr
+	}
+	if verr := checkPipelineOrders(plan, meta); verr != nil {
+		return sim.Result{}, verr
+	}
+	if verr := checkPipelineMemory(g, sys, meta, res); verr != nil {
+		return sim.Result{}, verr
+	}
+	if verr := checkPipelineTimeline(g, meta, res); verr != nil {
+		return sim.Result{}, verr
+	}
+	return res, nil
+}
+
+// checkPipelineEdges proves stage contiguity from the dependency
+// structure alone: data only ever flows forward one stage at a time,
+// gradients backward one stage at a time, and nothing crosses
+// microbatches.
+func checkPipelineEdges(g *graph.Graph, meta sim.PipelineMeta) error {
+	for _, e := range g.Edges() {
+		su, sv := meta.StageOf[e.From], meta.StageOf[e.To]
+		mu, mv := meta.MBOf[e.From], meta.MBOf[e.To]
+		bu, bv := meta.Backward[e.From], meta.Backward[e.To]
+		if mu != mv {
+			return fmt.Errorf("%w: edge %d->%d crosses microbatches %d->%d", ErrPipeline, e.From, e.To, mu, mv)
+		}
+		switch {
+		case su < 0: // host-side source feeds a forward task
+			if bv {
+				return fmt.Errorf("%w: source %d feeds backward task %d", ErrPipeline, e.From, e.To)
+			}
+		case sv < 0:
+			return fmt.Errorf("%w: edge %d->%d enters a source task", ErrPipeline, e.From, e.To)
+		case !bu && !bv: // forward -> forward: same or next stage
+			if sv != su && sv != su+1 {
+				return fmt.Errorf("%w: forward edge %d->%d jumps stage %d->%d", ErrPipeline, e.From, e.To, su, sv)
+			}
+		case bu && bv: // backward -> backward: same or previous stage
+			if sv != su && sv != su-1 {
+				return fmt.Errorf("%w: backward edge %d->%d jumps stage %d->%d", ErrPipeline, e.From, e.To, su, sv)
+			}
+		case !bu && bv: // forward hands off to its own backward
+			if sv != su {
+				return fmt.Errorf("%w: forward->backward edge %d->%d crosses stages %d->%d", ErrPipeline, e.From, e.To, su, sv)
+			}
+		default: // backward -> forward never happens within a step
+			return fmt.Errorf("%w: backward task %d feeds forward task %d", ErrPipeline, e.From, e.To)
+		}
+	}
+	return nil
+}
+
+// checkPipelineDevices proves the stage/device mapping: a stage is one
+// device, and every task of the stage is on it.
+func checkPipelineDevices(g *graph.Graph, sys sim.System, plan sim.Plan, meta sim.PipelineMeta) error {
+	cpu := sys.CPUID()
+	for _, nd := range g.Nodes() {
+		s := meta.StageOf[nd.ID]
+		if s < 0 {
+			if plan.Device[nd.ID] != cpu {
+				return fmt.Errorf("%w: source task %d on device %d, want CPU", ErrPipeline, nd.ID, plan.Device[nd.ID])
+			}
+			continue
+		}
+		if plan.Device[nd.ID] != meta.StageDevice[s] {
+			return fmt.Errorf("%w: task %d of stage %d on device %d, want %d",
+				ErrPipeline, nd.ID, s, plan.Device[nd.ID], meta.StageDevice[s])
+		}
+	}
+	return nil
+}
+
+// checkPipelineOrders proves the per-device schedule against the
+// claimed discipline, using only the explicit order vectors.
+func checkPipelineOrders(plan sim.Plan, meta sim.PipelineMeta) error {
+	if plan.Order == nil {
+		return fmt.Errorf("%w: pipeline plan carries no explicit per-device order", ErrPipeline)
+	}
+	S, M := meta.Stages, meta.Microbatches
+	for s := 0; s < S; s++ {
+		d := meta.StageDevice[s]
+		if int(d) >= len(plan.Order) {
+			return fmt.Errorf("%w: stage %d device %d has no order lane", ErrPipeline, s, d)
+		}
+		lastF, lastB := -1, -1
+		inFlight, sawBackward := 0, false
+		for _, id := range plan.Order[d] {
+			if meta.StageOf[id] != s {
+				return fmt.Errorf("%w: task %d in stage %d's lane belongs to stage %d", ErrPipeline, id, s, meta.StageOf[id])
+			}
+			mb := meta.MBOf[id]
+			if !meta.Backward[id] {
+				if mb <= lastF {
+					return fmt.Errorf("%w: stage %d forwards out of order (microbatch %d after %d)", ErrPipeline, s, mb, lastF)
+				}
+				lastF = mb
+				inFlight++
+				if meta.Discipline == "gpipe" && sawBackward {
+					return fmt.Errorf("%w: stage %d schedules forward %d after a backward (gpipe is fill-drain)", ErrPipeline, s, mb)
+				}
+				if meta.Discipline == "1f1b" {
+					bound := S - s
+					if bound > M {
+						bound = M
+					}
+					if inFlight > bound {
+						return fmt.Errorf("%w: stage %d holds %d microbatches in flight, 1f1b bound is %d", ErrPipeline, s, inFlight, bound)
+					}
+				}
+				continue
+			}
+			sawBackward = true
+			inFlight--
+			switch meta.Discipline {
+			case "gpipe": // drain is LIFO: M-1, M-2, ...
+				want := M - 1
+				if lastB >= 0 {
+					want = lastB - 1
+				}
+				if mb != want {
+					return fmt.Errorf("%w: stage %d gpipe drain out of order (backward %d, want %d)", ErrPipeline, s, mb, want)
+				}
+			case "1f1b": // backwards retire in arrival order: 0, 1, ...
+				if mb != lastB+1 {
+					return fmt.Errorf("%w: stage %d 1f1b backwards out of order (backward %d, want %d)", ErrPipeline, s, mb, lastB+1)
+				}
+			}
+			lastB = mb
+		}
+	}
+	return nil
+}
+
+// checkPipelineMemory re-derives each stage's peak resident footprint
+// (weights plus live activations) from the realized timeline and holds
+// it to the stage device's capacity.
+func checkPipelineMemory(g *graph.Graph, sys sim.System, meta sim.PipelineMeta, res sim.Result) error {
+	stats, _, err := sim.PipelineAccounting(g, meta, res)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrPipeline, err)
+	}
+	for s, st := range stats {
+		d, ok := sys.Device(st.Device)
+		if !ok {
+			return fmt.Errorf("%w: stage %d on unknown device %d", ErrPipeline, s, st.Device)
+		}
+		if d.Memory > 0 && st.PeakMemory > d.Memory {
+			return fmt.Errorf("%w: stage %d peak memory %d exceeds %s capacity %d (%w)",
+				ErrPipeline, s, st.PeakMemory, d.Name, d.Memory, ErrMemory)
+		}
+	}
+	return nil
+}
+
+// checkPipelineTimeline proves per-microbatch cross-stage ordering
+// directly from the realized windows, independent of the edge set:
+// microbatch m climbs the stages forward without overlap, descends
+// them backward without overlap, and never starts a stage's backward
+// before that stage's forward finished.
+func checkPipelineTimeline(g *graph.Graph, meta sim.PipelineMeta, res sim.Result) error {
+	S, M := meta.Stages, meta.Microbatches
+	// fwd[m][s] / bwd[m][s] = node ID or -1.
+	fwd := make([][]graph.NodeID, M)
+	bwd := make([][]graph.NodeID, M)
+	for m := 0; m < M; m++ {
+		fwd[m] = make([]graph.NodeID, S)
+		bwd[m] = make([]graph.NodeID, S)
+		for s := 0; s < S; s++ {
+			fwd[m][s], bwd[m][s] = -1, -1
+		}
+	}
+	for _, nd := range g.Nodes() {
+		s := meta.StageOf[nd.ID]
+		if s < 0 {
+			continue
+		}
+		m := meta.MBOf[nd.ID]
+		if meta.Backward[nd.ID] {
+			if bwd[m][s] >= 0 {
+				return fmt.Errorf("%w: microbatch %d stage %d has two backward tasks", ErrPipeline, m, s)
+			}
+			bwd[m][s] = nd.ID
+		} else {
+			if fwd[m][s] >= 0 {
+				return fmt.Errorf("%w: microbatch %d stage %d has two forward tasks", ErrPipeline, m, s)
+			}
+			fwd[m][s] = nd.ID
+		}
+	}
+	for m := 0; m < M; m++ {
+		for s := 0; s < S; s++ {
+			if fwd[m][s] < 0 {
+				return fmt.Errorf("%w: microbatch %d has no forward task on stage %d", ErrPipeline, m, s)
+			}
+			if s > 0 && res.Start[fwd[m][s]] < res.Finish[fwd[m][s-1]] {
+				return fmt.Errorf("%w: microbatch %d forward overlaps stages %d and %d", ErrPipeline, m, s-1, s)
+			}
+			if b := bwd[m][s]; b >= 0 {
+				if res.Start[b] < res.Finish[fwd[m][s]] {
+					return fmt.Errorf("%w: microbatch %d stage %d backward starts before its forward finishes", ErrPipeline, m, s)
+				}
+				if s+1 < S && bwd[m][s+1] >= 0 && res.Start[b] < res.Finish[bwd[m][s+1]] {
+					return fmt.Errorf("%w: microbatch %d backward overlaps stages %d and %d", ErrPipeline, m, s+1, s)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package verify_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"pesto/internal/gen"
+	"pesto/internal/pipeline"
+	"pesto/internal/sim"
+	"pesto/internal/verify"
+)
+
+// buildPipelinePlan pins a deterministic S=2, M=4, GPipe training
+// pipeline the corruption tests below can mutate.
+func buildPipelinePlan(t *testing.T) (*pipeline.Plan, sim.System) {
+	t.Helper()
+	g, err := gen.Generate(gen.PipelineConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sim.NewSystem(2, sweepGPUMem)
+	part, err := pipeline.PartitionDP(g, sys, sys.GPUs(), 2)
+	if err != nil {
+		t.Fatalf("PartitionDP: %v", err)
+	}
+	p, err := pipeline.Build(part, sys, 4, 2, pipeline.ScheduleGPipe)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p, sys
+}
+
+func TestCheckPipelineAccepts(t *testing.T) {
+	p, sys := buildPipelinePlan(t)
+	res, err := verify.CheckPipeline(p.Graph, sys, p.Sim, p.Meta)
+	if err != nil {
+		t.Fatalf("CheckPipeline rejects a freshly built plan: %v", err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("verified pipeline has no makespan")
+	}
+}
+
+// TestCheckPipelineRejects corrupts one invariant at a time and demands
+// an ErrPipeline (and therefore ErrInvariant) rejection for each.
+func TestCheckPipelineRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(p *pipeline.Plan, sys *sim.System)
+	}{
+		{"malformed-meta", func(p *pipeline.Plan, _ *sim.System) {
+			p.Meta.Stages = 0
+		}},
+		{"stage-device-mismatch", func(p *pipeline.Plan, _ *sim.System) {
+			p.Meta.StageDevice = append([]sim.DeviceID(nil), p.Meta.StageDevice...)
+			p.Meta.StageDevice[0], p.Meta.StageDevice[1] = p.Meta.StageDevice[1], p.Meta.StageDevice[0]
+		}},
+		{"missing-order", func(p *pipeline.Plan, _ *sim.System) {
+			p.Sim.Order = nil
+			p.Sim.Policy = sim.PolicyFIFO
+		}},
+		{"forwards-out-of-order", func(p *pipeline.Plan, _ *sim.System) {
+			// Swap the first two forwards in stage 0's lane: both
+			// depend only on host-side sources, so the execution stays
+			// valid while the ascending-microbatch rule breaks.
+			d := p.Meta.StageDevice[0]
+			lane := p.Sim.Order[d]
+			lane[0], lane[1] = lane[1], lane[0]
+		}},
+		{"wrong-discipline-claim", func(p *pipeline.Plan, _ *sim.System) {
+			// A GPipe fill (4 in flight on stage 0) violates the 1F1B
+			// in-flight bound min(S-s, M) = 2.
+			p.Meta.Discipline = "1f1b"
+		}},
+		{"cross-microbatch-edge", func(p *pipeline.Plan, _ *sim.System) {
+			p.Meta.MBOf = append([]int(nil), p.Meta.MBOf...)
+			for _, id := range p.Sim.Order[p.Meta.StageDevice[0]] {
+				if !p.Meta.Backward[id] && p.Meta.MBOf[id] == 0 {
+					p.Meta.MBOf[id] = 1
+					return
+				}
+			}
+		}},
+		{"memory-over-capacity", func(p *pipeline.Plan, _ *sim.System) {
+			p.Meta.StageWeightBytes = append([]int64(nil), p.Meta.StageWeightBytes...)
+			p.Meta.StageWeightBytes[0] = sweepGPUMem + 1
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, sys := buildPipelinePlan(t)
+			c.corrupt(p, &sys)
+			_, err := verify.CheckPipeline(p.Graph, sys, p.Sim, p.Meta)
+			if err == nil {
+				t.Fatal("corrupted pipeline accepted")
+			}
+			if !errors.Is(err, verify.ErrPipeline) {
+				t.Fatalf("rejection %v does not wrap ErrPipeline", err)
+			}
+			if !errors.Is(err, verify.ErrInvariant) {
+				t.Fatalf("rejection %v does not wrap ErrInvariant", err)
+			}
+		})
+	}
+}
+
+// TestCheckPipelineMemoryWrapsErrMemory: the capacity rejection carries
+// both sentinels so callers can route it like any other memory error.
+func TestCheckPipelineMemoryWrapsErrMemory(t *testing.T) {
+	p, sys := buildPipelinePlan(t)
+	p.Meta.StageWeightBytes = append([]int64(nil), p.Meta.StageWeightBytes...)
+	p.Meta.StageWeightBytes[1] = sweepGPUMem + 1
+	_, err := verify.CheckPipeline(p.Graph, sys, p.Sim, p.Meta)
+	if !errors.Is(err, verify.ErrPipeline) || !errors.Is(err, verify.ErrMemory) {
+		t.Fatalf("memory rejection %v must wrap both ErrPipeline and ErrMemory", err)
+	}
+}
+
+// TestSweepPipeline drives the pipeline planner over a population of
+// seeded pipeline-friendly DAGs and holds it to two oracles:
+//
+//   - every (partition, schedule) plan the search emits passes the
+//     independent pipeline invariant checker, and the score it reports
+//     matches the verified re-simulation;
+//   - on small instances the contiguous-split DP realizes exactly the
+//     exhaustive splitter's bottleneck objective for every device
+//     count and backward ratio (the DP is exact, not a heuristic).
+//
+// Like TestSweep, the population scales with PESTO_SWEEP.
+func TestSweepPipeline(t *testing.T) {
+	n := sweepSize(t)/6 + 4
+	for seed := int64(0); seed < int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprint("seed=", seed), func(t *testing.T) {
+			t.Parallel()
+			g, err := gen.Generate(gen.PipelineConfig(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys := sim.NewSystem(4, sweepGPUMem)
+			out, err := pipeline.Search(context.Background(), g, sys, pipeline.Options{Microbatches: 4})
+			if err != nil {
+				t.Fatalf("Search: %v", err)
+			}
+			res, err := verify.CheckPipeline(out.Plan.Graph, sys, out.Plan.Sim, out.Plan.Meta)
+			if err != nil {
+				t.Fatalf("winning plan fails CheckPipeline: %v", err)
+			}
+			if res.Makespan != out.Score.Makespan {
+				t.Fatalf("reported step %v != verified %v", out.Score.Makespan, res.Makespan)
+			}
+			// Differential: DP vs exhaustive on a shrunken sibling.
+			cfg := gen.PipelineConfig(seed)
+			cfg.Nodes = 8 + int(seed%7)
+			small, err := gen.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gpus := sys.GPUs()
+			for S := 1; S <= len(gpus); S++ {
+				for _, ratio := range []float64{-1, 2} {
+					dp, dpErr := pipeline.PartitionDP(small, sys, gpus[:S], ratio)
+					ex, exErr := pipeline.PartitionExhaustive(small, sys, gpus[:S], ratio)
+					if (dpErr == nil) != (exErr == nil) {
+						t.Fatalf("S=%d ratio=%g: DP err %v, exhaustive err %v", S, ratio, dpErr, exErr)
+					}
+					if dpErr != nil {
+						continue
+					}
+					if dp.Bottleneck != ex.Bottleneck {
+						t.Fatalf("S=%d ratio=%g: DP bottleneck %v != exhaustive %v",
+							S, ratio, dp.Bottleneck, ex.Bottleneck)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSweepPipelineSchedules re-verifies both disciplines (not just the
+// winner) for a handful of seeds: GPipe and 1F1B plans for the same
+// partition must each pass their own discipline checks.
+func TestSweepPipelineSchedules(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g, err := gen.Generate(gen.PipelineConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := sim.NewSystem(3, sweepGPUMem)
+		part, err := pipeline.PartitionDP(g, sys, sys.GPUs(), 2)
+		if err != nil {
+			t.Fatalf("seed %d: PartitionDP: %v", seed, err)
+		}
+		for _, kind := range []pipeline.ScheduleKind{pipeline.ScheduleGPipe, pipeline.Schedule1F1B} {
+			p, err := pipeline.Build(part, sys, 6, 2, kind)
+			if err != nil {
+				t.Fatalf("seed %d kind %v: Build: %v", seed, kind, err)
+			}
+			if _, err := verify.CheckPipeline(p.Graph, sys, p.Sim, p.Meta); err != nil {
+				t.Fatalf("seed %d kind %v: CheckPipeline: %v", seed, kind, err)
+			}
+		}
+	}
+}

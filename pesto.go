@@ -41,6 +41,7 @@ import (
 	"pesto/internal/incr"
 	"pesto/internal/models"
 	"pesto/internal/obs"
+	"pesto/internal/pipeline"
 	"pesto/internal/placement"
 	"pesto/internal/profile"
 	"pesto/internal/runtime"
@@ -114,10 +115,83 @@ type (
 const (
 	StageILP         = placement.StageILP
 	StageRefine      = placement.StageRefine
+	StagePipelineDP  = placement.StagePipelineDP
 	StageFallback    = placement.StageFallback
 	StageReplan      = placement.StageReplan
 	StageIncremental = placement.StageIncremental
 )
+
+// Pipeline-parallel planning types (see DESIGN.md, "Pipeline model").
+type (
+	// PipelineOptions selects the microbatched pipeline planning regime:
+	// set Microbatches > 0 on PlaceOptions.Pipeline and Place searches
+	// joint (contiguous stage partition, microbatch schedule) pairs
+	// instead of the single-shot ladder.
+	PipelineOptions = pipeline.Options
+	// PipelineSchedule names a microbatch discipline (auto, GPipe, 1F1B).
+	PipelineSchedule = pipeline.ScheduleKind
+	// PipelineInfo is the provenance a pipeline-planned Result carries:
+	// the winning partition shape, schedule, bubble fraction, per-stage
+	// utilization and peak memory, and the single-shot baseline.
+	PipelineInfo = pipeline.Info
+	// PipelineArtifact is the concrete microbatched execution artifact —
+	// the replicated task graph, the scheduled simulator plan and the
+	// stage metadata — as re-materialized by BuildPipelinePlan.
+	PipelineArtifact = pipeline.Plan
+)
+
+// Microbatch schedule disciplines.
+const (
+	PipelineScheduleAuto  = pipeline.ScheduleAuto
+	PipelineScheduleGPipe = pipeline.ScheduleGPipe
+	PipelineSchedule1F1B  = pipeline.Schedule1F1B
+)
+
+// ErrBadPipelineSpec marks malformed pipeline spec strings (see
+// ParsePipelineSpec).
+var ErrBadPipelineSpec = pipeline.ErrBadSpec
+
+// ParsePipelineSpec parses the compact CLI form of PipelineOptions,
+// e.g. "mb=8,sched=1f1b,bwd=1.5". Malformed input yields an error
+// wrapping ErrBadPipelineSpec.
+func ParsePipelineSpec(spec string) (PipelineOptions, error) { return pipeline.ParseSpec(spec) }
+
+// ParsePipelineSchedule parses a schedule discipline name ("auto",
+// "gpipe", "1f1b" and their aliases).
+func ParsePipelineSchedule(s string) (PipelineSchedule, error) { return pipeline.ParseSchedule(s) }
+
+// BuildPipelinePlan re-materializes the microbatched pipeline execution
+// artifact for a graph placed with PlaceOptions.Pipeline: the
+// microbatch-replicated task graph, the per-device schedule realizing
+// the winning discipline, and the stage metadata VerifyPipelinePlan
+// consumes. The construction is deterministic: equal inputs yield the
+// artifact the original Place call scored.
+func BuildPipelinePlan(g *Graph, sys System, opts PlaceOptions) (*PipelineArtifact, error) {
+	return placement.PipelinePlan(g, sys, opts)
+}
+
+// VerifyPipelinePlan re-proves a microbatched pipeline artifact: every
+// generic plan invariant plus the pipeline-shaped ones (stage
+// contiguity, schedule discipline, stage/device consistency, per-stage
+// peak memory, per-microbatch cross-stage ordering). Pipeline-specific
+// rejections wrap ErrPipelineInvariant.
+func VerifyPipelinePlan(p *PipelineArtifact, sys System) (StepResult, error) {
+	return verify.CheckPipeline(p.Graph, sys, p.Sim, p.Meta)
+}
+
+// ErrPipelineInvariant marks pipeline-invariant violations; it wraps
+// ErrInvariant.
+var ErrPipelineInvariant = verify.ErrPipeline
+
+// ReplanArrival rebalances a running plan onto a newly arrived (or
+// recovered) GPU: the heaviest movable groups migrate onto the
+// newcomer, the refinement machinery re-optimizes from both the
+// incumbent and the migrated seed, and the better of the two is
+// returned — so scaling up never makes the step slower. The mirror
+// image of Replan's device-loss path.
+func ReplanArrival(ctx context.Context, g *Graph, sys System, plan Plan, arrived DeviceID, opts PlaceOptions) (*ReplanResult, error) {
+	return placement.ReplanArrival(ctx, g, sys, plan, arrived, opts)
+}
 
 // Incremental placement types (evolving graphs; see DESIGN.md,
 // "Incremental model").

@@ -19,13 +19,13 @@ func TestFacadeErrorWrappingAudit(t *testing.T) {
 	sys := NewSystem(2, 16<<30)
 
 	t.Run("degraded-provenance-wraps-ErrDegraded", func(t *testing.T) {
-		// Fail the exact and refine rungs from outside so the baseline
-		// fallback serves the plan.
+		// Fail every rung above the baseline fallback from outside so
+		// it serves the plan.
 		opts := PlaceOptions{
 			ILPTimeLimit: 2 * time.Second,
 			StageRetries: -1,
 			StageHook: func(s Stage) error {
-				if s == StageILP || s == StageRefine {
+				if s == StageILP || s == StageRefine || s == StagePipelineDP {
 					return errors.New("injected rung failure")
 				}
 				return nil

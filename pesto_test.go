@@ -105,3 +105,52 @@ func TestModelVariantsComplete(t *testing.T) {
 		t.Error("unknown variant should fail")
 	}
 }
+
+// TestPipelineThroughFacade exercises the microbatched pipeline regime
+// end to end via the public surface: plan, inspect provenance,
+// re-materialize the artifact, re-verify it.
+func TestPipelineThroughFacade(t *testing.T) {
+	g, err := BuildModel("RNNLM-small")
+	if err != nil {
+		t.Fatalf("BuildModel: %v", err)
+	}
+	sys := NewSystem(2, 16<<30)
+	popts, err := ParsePipelineSpec("mb=4,sched=gpipe")
+	if err != nil {
+		t.Fatalf("ParsePipelineSpec: %v", err)
+	}
+	opts := PlaceOptions{ILPTimeLimit: 2 * time.Second, Pipeline: popts}
+	res, err := Place(context.Background(), g, sys, opts)
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if res.Provenance.Stage != StagePipelineDP || res.Provenance.Pipeline == nil {
+		t.Fatalf("provenance = %+v, want pipeline-dp with info", res.Provenance)
+	}
+	info := res.Provenance.Pipeline
+	if info.Microbatches != 4 || info.Schedule != "gpipe" {
+		t.Fatalf("info = %+v", info)
+	}
+	art, err := BuildPipelinePlan(g, sys, opts)
+	if err != nil {
+		t.Fatalf("BuildPipelinePlan: %v", err)
+	}
+	step, err := VerifyPipelinePlan(art, sys)
+	if err != nil {
+		t.Fatalf("VerifyPipelinePlan: %v", err)
+	}
+	if step.Makespan != info.Makespan {
+		t.Fatalf("verified step %v != provenance %v", step.Makespan, info.Makespan)
+	}
+	// A corrupted artifact is rejected with the exported sentinel.
+	art.Meta.Stages = 0
+	if _, err := VerifyPipelinePlan(art, sys); !errors.Is(err, ErrPipelineInvariant) || !errors.Is(err, ErrInvariant) {
+		t.Fatalf("corrupt artifact error %v must wrap ErrPipelineInvariant and ErrInvariant", err)
+	}
+	if _, err := ParsePipelineSpec("mb=oops"); !errors.Is(err, ErrBadPipelineSpec) {
+		t.Fatalf("bad spec error %v must wrap ErrBadPipelineSpec", err)
+	}
+	if k, err := ParsePipelineSchedule("1f1b"); err != nil || k != PipelineSchedule1F1B {
+		t.Fatalf("ParsePipelineSchedule = %v, %v", k, err)
+	}
+}
