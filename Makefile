@@ -6,7 +6,7 @@ GO ?= go
 # `make verify` runs the full population.
 SWEEP ?= 1000
 
-.PHONY: build test check bench bench-lp bench-incr bench-pipeline fmt vet verify smoke obs-smoke fleet-smoke chaos bench-fleet
+.PHONY: build test check bench bench-lp bench-incr bench-pipeline fmt vet verify smoke obs-smoke fleet-smoke trace-smoke chaos bench-fleet
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,13 @@ obs-smoke:
 # that survives a replica kill.
 fleet-smoke:
 	bash scripts/smoke_fleet.sh
+
+# End-to-end smoke test of fleet-wide tracing: a 3-replica HTTP fleet,
+# a solve under a client trace ID, the stitched cross-replica Chrome
+# trace at GET /v1/requests/{id}/trace, then a replica kill whose
+# failover must show up as a failed hop in the next request's trace.
+trace-smoke:
+	bash scripts/smoke_trace.sh
 
 # The fleet chaos sweep: $(CHAOS) Zipf requests through a 3-replica
 # fleet while the fixed fault schedule kills, restarts and blinds

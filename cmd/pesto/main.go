@@ -10,6 +10,11 @@
 //	      [-fault-spec "seed=42;straggler:p=0.1;fail:2@5ms"] [-replan N]
 //	      [-timeline N] [-dot out.dot]
 //	      [-obs-trace out.json] [-obs-log telemetry.jsonl]
+//	pesto -replay-bundle bundle-000000-slow-solve.json
+//
+// -replay-bundle re-executes a repro bundle captured by pestod's
+// flight recorder and verifies the solve reproduces the originally
+// served response byte-for-byte; a mismatch exits non-zero.
 //
 // -obs-trace writes one Chrome Trace Event file combining the solver's
 // span tree (ladder rungs, coarsening, branch and bound, refinement,
@@ -63,6 +68,7 @@ func run(args []string) error {
 		dotPath  = fs.String("dot", "", "write the model graph in DOT format to this file")
 		devSpeed = fs.String("device-speeds", "", `per-GPU compute speed multipliers, e.g. "1.0,2.0" (missing entries stay 1.0)`)
 		pipeSpec = fs.String("pipeline", "", `microbatched pipeline planning spec, e.g. "mb=8,sched=1f1b" (pesto strategy only)`)
+		replayB  = fs.String("replay-bundle", "", "re-execute a pestod flight-recorder repro bundle and verify byte identity")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +78,9 @@ func run(args []string) error {
 			fmt.Printf("%-24s family=%s\n", v.Name, v.Family)
 		}
 		return nil
+	}
+	if *replayB != "" {
+		return replayBundle(*replayB, *parallel)
 	}
 
 	g, err := pesto.BuildModel(*model)
@@ -311,6 +320,32 @@ func run(args []string) error {
 		fmt.Printf("  [%6v → %6v] dev%d→dev%d %d B (queued %v)\n",
 			tr.Start, tr.Finish, tr.From, tr.To, tr.Edge.Bytes, tr.Queued())
 	}
+	return nil
+}
+
+// replayBundle re-executes one flight-recorder capture and verifies
+// the solve reproduces the originally served bytes. A mismatch is a
+// non-zero exit: the bundle caught a determinism break.
+func replayBundle(path string, parallel int) error {
+	b, err := pesto.ReadFlightBundle(path)
+	if err != nil {
+		return err
+	}
+	fp := b.Fingerprint
+	if len(fp) > 12 {
+		fp = fp[:12]
+	}
+	fmt.Printf("bundle: trigger=%s stage=%s seed=%d fingerprint=%s…\n", b.Trigger, b.Stage, b.Seed, fp)
+	res, err := pesto.ReplayFlightBundle(context.Background(), b, parallel)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	if !res.Match {
+		return fmt.Errorf("replay mismatch at stage %s: got %d response bytes, captured %d — determinism break",
+			res.Stage, len(res.Got), len(res.Want))
+	}
+	fmt.Printf("replay: stage %s reproduced the captured response byte-identically (%d bytes)\n",
+		res.Stage, len(res.Got))
 	return nil
 }
 

@@ -9,6 +9,7 @@
 //	       [-budget 10s] [-max-budget 60s] [-parallel N]
 //	       [-warm-dir graphs/] [-drain-timeout 30s]
 //	       [-obs-log telemetry.jsonl] [-span-history 64]
+//	       [-flight-dir bundles/]
 //	       [-fleet N | -fleet-backends url1,url2,…]
 //
 // Endpoints:
@@ -19,9 +20,16 @@
 //	                 must have been placed here before (404 otherwise)
 //	POST /v1/trace   same body as /v1/place; returns a Chrome Trace Event timeline
 //	GET  /v1/requests/{id}/spans   span dump of a recent request by X-Request-ID
+//	GET  /debug/flight   the flight recorder's always-on telemetry ring
 //	GET  /healthz    liveness + queue/cache gauges
 //	GET  /metrics    Prometheus text exposition
 //	GET  /debug/pprof/   Go runtime profiles (heap, CPU, goroutines, …)
+//
+// The flight recorder is always on: the last few thousand telemetry
+// records ride in a bounded ring, and a solve slower than its rolling
+// p99, a collapse to the fallback rung, a verification failure or a
+// fast-burning SLO captures a self-contained repro bundle under
+// -flight-dir that `pesto -replay-bundle` re-executes.
 //
 // Fleet mode puts the fingerprint-routed replica fleet in front of the
 // service: `-fleet N` runs N in-process replicas (each with its own
@@ -29,7 +37,9 @@
 // health probing, circuit breakers, retry/hedging, failover and
 // warm-sync; `-fleet-backends` routes to external pestod processes
 // over HTTP instead. The router serves /v1/place, /v1/trace,
-// /v1/place/batch, /healthz and /metrics.
+// /v1/place/batch, /healthz, /metrics — and GET
+// /v1/requests/{id}/trace, which stitches a traced request's
+// per-replica span dumps into one cross-fleet Chrome trace.
 //
 // Every request carries an X-Request-ID (client-supplied or generated)
 // echoed on the response, stamped into each -obs-log line and keying
@@ -83,6 +93,7 @@ func run(args []string) error {
 		spanHist = fs.Int("span-history", 0, "recent requests to retain span dumps for (0 = default 64)")
 		fleetN   = fs.Int("fleet", 0, "run N in-process replicas behind the fingerprint router (0 = single server)")
 		fleetBk  = fs.String("fleet-backends", "", "comma-separated base URLs of external pestod replicas to route to")
+		flightD  = fs.String("flight-dir", "", "directory for flight-recorder repro bundles (empty = in-memory only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,6 +123,7 @@ func run(args []string) error {
 			Parallel:            *parallel,
 			Logger:              logger,
 			SpanHistory:         *spanHist,
+			FlightDir:           *flightD,
 		})
 		if *warmDir != "" {
 			start := time.Now()

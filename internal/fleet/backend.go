@@ -29,10 +29,12 @@ type Backend interface {
 	// ID names the replica: the ring hashes it, the fault injector
 	// targets it, metrics label it.
 	ID() string
-	// Do performs one request against the replica. A non-nil error is a
-	// transport failure (the replica never answered); HTTP-level errors
-	// come back as a Response with a non-2xx Status.
-	Do(ctx context.Context, method, path string, body []byte) (*Response, error)
+	// Do performs one request against the replica. hdr carries extra
+	// request headers — the router's trace context and per-hop request
+	// ID — and may be nil. A non-nil error is a transport failure (the
+	// replica never answered); HTTP-level errors come back as a
+	// Response with a non-2xx Status.
+	Do(ctx context.Context, method, path string, hdr http.Header, body []byte) (*Response, error)
 }
 
 // HandlerBackend adapts an in-process http.Handler — a
@@ -52,7 +54,7 @@ func NewHandlerBackend(id string, handler http.Handler) *HandlerBackend {
 func (b *HandlerBackend) ID() string { return b.id }
 
 // Do implements Backend by invoking the handler directly.
-func (b *HandlerBackend) Do(ctx context.Context, method, path string, body []byte) (*Response, error) {
+func (b *HandlerBackend) Do(ctx context.Context, method, path string, hdr http.Header, body []byte) (*Response, error) {
 	req, err := http.NewRequestWithContext(ctx, method, path, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("build request: %w", err)
@@ -60,12 +62,27 @@ func (b *HandlerBackend) Do(ctx context.Context, method, path string, body []byt
 	if len(body) > 0 {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	copyHeader(req.Header, hdr)
 	rw := &memResponse{header: make(http.Header), status: http.StatusOK}
 	b.h.ServeHTTP(rw, req)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return &Response{Status: rw.status, Header: rw.header, Body: rw.buf.Bytes()}, nil
+}
+
+// copyHeader merges src into dst (Set semantics, so callers override
+// the defaults above).
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for i, v := range vs {
+			if i == 0 {
+				dst.Set(k, v)
+			} else {
+				dst.Add(k, v)
+			}
+		}
+	}
 }
 
 // memResponse is the minimal in-memory http.ResponseWriter behind
@@ -116,7 +133,7 @@ func (b *HTTPBackend) ID() string { return b.id }
 // Do implements Backend over HTTP. Transport failures wrap
 // ErrReplicaDown so the router's failover path doesn't depend on
 // net/http error taxonomy.
-func (b *HTTPBackend) Do(ctx context.Context, method, path string, body []byte) (*Response, error) {
+func (b *HTTPBackend) Do(ctx context.Context, method, path string, hdr http.Header, body []byte) (*Response, error) {
 	req, err := http.NewRequestWithContext(ctx, method, b.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("build request: %w", err)
@@ -124,6 +141,7 @@ func (b *HTTPBackend) Do(ctx context.Context, method, path string, body []byte) 
 	if len(body) > 0 {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	copyHeader(req.Header, hdr)
 	resp, err := b.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {

@@ -61,7 +61,7 @@ func (c *ChaosBackend) current() Backend {
 func (c *ChaosBackend) ID() string { return c.current().ID() }
 
 // Do implements Backend under the fault schedule.
-func (c *ChaosBackend) Do(ctx context.Context, method, path string, body []byte) (*Response, error) {
+func (c *ChaosBackend) Do(ctx context.Context, method, path string, hdr http.Header, body []byte) (*Response, error) {
 	id := c.ID()
 	t := c.clock()
 	if c.inj.Killed(id, t) {
@@ -75,5 +75,5 @@ func (c *ChaosBackend) Do(ctx context.Context, method, path string, body []byte)
 			return nil, err
 		}
 	}
-	return c.current().Do(ctx, method, path, body)
+	return c.current().Do(ctx, method, path, hdr, body)
 }

@@ -5,15 +5,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"pesto/internal/fault"
 	"pesto/internal/gen"
+	"pesto/internal/obs"
 	"pesto/internal/service"
 )
 
@@ -42,6 +45,13 @@ type chaosStats struct {
 	warmKeys                   int64
 	latencies                  []time.Duration
 	elapsed                    time.Duration
+	// Per-trace tallies rebuilt from the router's hop records; the
+	// test asserts they equal the router's own counters, tying every
+	// retry/hedge/failover the metrics claim to a span in a trace.
+	traceMaxPass   int64 // Σ over traces of the highest hop pass
+	traceHedgeHops int64 // hops recorded with kind "hedge"
+	traceFailovers int64 // traces whose served hop is not the ring owner
+	stitched       int   // stitched Chrome traces fetched and sanity-checked
 }
 
 func (s chaosStats) hitRate(hits, total int) float64 {
@@ -94,7 +104,7 @@ func runChaos(t *testing.T, requests int) chaosStats {
 	oracle := NewHandlerBackend("oracle", oracleSrv)
 	want := make([][]byte, len(bodies))
 	for i := range bodies {
-		resp, err := oracle.Do(ctx, http.MethodPost, "/v1/place", bodies[i])
+		resp, err := oracle.Do(ctx, http.MethodPost, "/v1/place", nil, bodies[i])
 		if err != nil || resp.Status != http.StatusOK {
 			t.Fatalf("oracle solve %d: %v (status %d)", i, err, resp.Status)
 		}
@@ -142,6 +152,12 @@ func runChaos(t *testing.T, requests int) chaosStats {
 	if probeEvery < 1 {
 		probeEvery = 1
 	}
+	// Every stitchEvery-th successful request also pulls its stitched
+	// cross-replica Chrome trace through the router's HTTP surface.
+	stitchEvery := requests / 50
+	if stitchEvery < 1 {
+		stitchEvery = 1
+	}
 	start := time.Now()
 	for i := 0; i < requests; i++ {
 		vt := chaosSpan * time.Duration(i) / time.Duration(requests)
@@ -158,8 +174,10 @@ func runChaos(t *testing.T, requests int) chaosStats {
 			rt.ProbeAll(ctx)
 		}
 		rank := tr.Seq[i]
+		traceID := fmt.Sprintf("req-%06d", i)
 		reqStart := time.Now()
-		resp, err := rt.Do(ctx, http.MethodPost, "/v1/place", bodies[rank], fps[rank])
+		resp, _, err := rt.DoTraced(ctx, http.MethodPost, "/v1/place", bodies[rank], fps[rank],
+			obs.TraceContext{TraceID: traceID})
 		stats.latencies = append(stats.latencies, time.Since(reqStart))
 		if err != nil || resp.Status != http.StatusOK {
 			stats.failed++
@@ -175,6 +193,7 @@ func runChaos(t *testing.T, requests int) chaosStats {
 			}
 			continue
 		}
+		checkTrace(t, rt, &stats, traceID, i, resp.Header.Get("X-Pesto-Replica"), stitchEvery)
 		hit := resp.Header.Get("X-Pesto-Cache") == "hit"
 		if hit {
 			stats.hits++
@@ -197,6 +216,58 @@ func runChaos(t *testing.T, requests int) chaosStats {
 	stats.elapsed = time.Since(start)
 	stats.retries, stats.hedges, stats.failovers, stats.warmKeys = rt.Stats()
 	return stats
+}
+
+// checkTrace audits the router's hop record of one successful chaos
+// request: the trace must exist, carry at least one hop, and mark
+// exactly one hop served — the replica named in the response's
+// X-Pesto-Replica header. It folds the trace's pass/hedge/failover
+// evidence into stats for the whole-run identity checks, and every
+// stitchEvery-th request fetches the stitched Chrome trace too.
+func checkTrace(t *testing.T, rt *Router, stats *chaosStats, traceID string, i int, servedReplica string, stitchEvery int) {
+	t.Helper()
+	rec, ok := rt.Trace(traceID)
+	if !ok {
+		t.Fatalf("request %d: no trace retained for %s", i, traceID)
+	}
+	if len(rec.Hops) == 0 {
+		t.Fatalf("request %d: trace %s has no hops", i, traceID)
+	}
+	maxPass, served := 0, 0
+	for _, h := range rec.Hops {
+		if h.Pass > maxPass {
+			maxPass = h.Pass
+		}
+		if h.Kind == "hedge" {
+			stats.traceHedgeHops++
+		}
+		if h.Served {
+			served++
+			if h.Replica != servedReplica {
+				t.Fatalf("request %d: served hop names replica %s, response header says %s", i, h.Replica, servedReplica)
+			}
+			if h.Replica != rec.Owner {
+				stats.traceFailovers++
+			}
+		}
+	}
+	if served != 1 {
+		t.Fatalf("request %d: trace %s marks %d hops served, want exactly 1", i, traceID, served)
+	}
+	stats.traceMaxPass += int64(maxPass)
+	if i%stitchEvery != 0 {
+		return
+	}
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/requests/"+traceID+"/trace", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("request %d: stitched trace fetch for %s: status %d: %s", i, traceID, w.Code, w.Body.String())
+	}
+	body := w.Body.String()
+	if !strings.Contains(body, `"traceEvents"`) || !strings.Contains(body, "fleet router") {
+		t.Fatalf("request %d: stitched trace for %s lacks router lane: %.200s", i, traceID, body)
+	}
+	stats.stitched++
 }
 
 func respStatus(r *Response) int {
@@ -230,6 +301,22 @@ func TestFleetChaosDeterministicZeroFailures(t *testing.T) {
 	if stats.failovers == 0 {
 		t.Fatal("chaos run saw no failovers: the schedule did not exercise the fleet")
 	}
+	// Hop accounting: the router's counters must be fully explained by
+	// the hop spans in the per-request traces. With every request
+	// succeeding, retries == Σ max hop pass; hedging is disabled, so
+	// both views must report zero; failovers == traces served off-owner.
+	if stats.retries != stats.traceMaxPass {
+		t.Fatalf("router counted %d retries but traces account for %d extra passes", stats.retries, stats.traceMaxPass)
+	}
+	if stats.hedges != 0 || stats.traceHedgeHops != 0 {
+		t.Fatalf("hedging disabled but router counted %d hedges, traces recorded %d hedge hops", stats.hedges, stats.traceHedgeHops)
+	}
+	if stats.failovers != stats.traceFailovers {
+		t.Fatalf("router counted %d failovers but traces show %d off-owner serves", stats.failovers, stats.traceFailovers)
+	}
+	if stats.stitched == 0 {
+		t.Fatal("no stitched traces fetched")
+	}
 	if stats.warmKeys == 0 {
 		t.Fatal("no warm-sync keys installed: rejoin path not exercised")
 	}
@@ -241,8 +328,8 @@ func TestFleetChaosDeterministicZeroFailures(t *testing.T) {
 	if post < 0.9*pre {
 		t.Fatalf("hit rate did not recover: pre-kill %.3f, post-rejoin %.3f (want >= 90%%)", pre, post)
 	}
-	t.Logf("chaos: %d requests, 0 failed, hit rate pre %.3f post %.3f, %d failovers, %d retries, %d warm-synced keys",
-		stats.requests, pre, post, stats.failovers, stats.retries, stats.warmKeys)
+	t.Logf("chaos: %d requests, 0 failed, hit rate pre %.3f post %.3f, %d failovers, %d retries, %d warm-synced keys, %d stitched traces",
+		stats.requests, pre, post, stats.failovers, stats.retries, stats.warmKeys, stats.stitched)
 }
 
 // TestFleetChaosBench is the committed-benchmark producer: a large

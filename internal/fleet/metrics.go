@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 )
 
 // fleetMetrics instruments the router: counters behind a mutex plus
@@ -31,6 +32,10 @@ type fleetMetrics struct {
 	// received, batchDeduped counts entries answered by another entry's
 	// solve.
 	batchRequests, batchDeduped int64
+	// hopHist is the per-attempt latency histogram, split by why the
+	// hop happened (first | retry | hedge | last-resort). All kinds are
+	// pre-registered so an idle scrape is complete and byte-stable.
+	hopHist map[string]*hopHistogram
 
 	// replicaStates reads live per-replica liveness and breaker state,
 	// sorted by replica ID.
@@ -44,8 +49,52 @@ type replicaState struct {
 	breaker int
 }
 
+// hopBuckets are the upper bounds (seconds) of the hop-latency
+// histogram; one hop is a full replica round trip, so the range matches
+// the replicas' own solve histogram.
+var hopBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.25, 1, 2.5, 10, 30}
+
+// hopHistogram is one cumulative-bucket hop-latency histogram.
+type hopHistogram struct {
+	bucketN [len(hopBuckets) + 1]int64 // + 1 for +Inf
+	sum     float64
+	count   int64
+}
+
+// hopKinds pre-registers every hop kind the router emits.
+var hopKinds = [...]string{"first", "retry", "hedge", "last-resort"}
+
 func newFleetMetrics() *fleetMetrics {
-	return &fleetMetrics{requests: make(map[string]map[string]int64)}
+	m := &fleetMetrics{
+		requests: make(map[string]map[string]int64),
+		hopHist:  make(map[string]*hopHistogram),
+	}
+	for _, k := range hopKinds {
+		m.hopHist[k] = &hopHistogram{}
+	}
+	return m
+}
+
+// observeHop records one finished backend attempt of the given kind.
+func (m *fleetMetrics) observeHop(kind string, d time.Duration) {
+	s := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.hopHist[kind]
+	if h == nil {
+		h = &hopHistogram{}
+		m.hopHist[kind] = h
+	}
+	idx := len(hopBuckets) // +Inf
+	for i, ub := range hopBuckets {
+		if s <= ub {
+			idx = i
+			break
+		}
+	}
+	h.bucketN[idx]++
+	h.sum += s
+	h.count++
 }
 
 func (m *fleetMetrics) request(endpoint, outcome string) {
@@ -125,6 +174,21 @@ func (m *fleetMetrics) write(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE pestod_fleet_batch_deduped_total counter")
 	fmt.Fprintf(w, "pestod_fleet_batch_deduped_total %d\n", m.batchDeduped)
 
+	fmt.Fprintln(w, "# HELP pestod_fleet_hop_latency_seconds Latency of one backend attempt, by hop kind (first/retry/hedge/last-resort).")
+	fmt.Fprintln(w, "# TYPE pestod_fleet_hop_latency_seconds histogram")
+	for _, kind := range sortedKeys(m.hopHist) {
+		h := m.hopHist[kind]
+		cum := int64(0)
+		for i, ub := range hopBuckets {
+			cum += h.bucketN[i]
+			fmt.Fprintf(w, "pestod_fleet_hop_latency_seconds_bucket{kind=%q,le=%q} %d\n", kind, trimHopFloat(ub), cum)
+		}
+		cum += h.bucketN[len(hopBuckets)]
+		fmt.Fprintf(w, "pestod_fleet_hop_latency_seconds_bucket{kind=%q,le=\"+Inf\"} %d\n", kind, cum)
+		fmt.Fprintf(w, "pestod_fleet_hop_latency_seconds_sum{kind=%q} %g\n", kind, h.sum)
+		fmt.Fprintf(w, "pestod_fleet_hop_latency_seconds_count{kind=%q} %d\n", kind, h.count)
+	}
+
 	var states []replicaState
 	if m.replicaStates != nil {
 		states = m.replicaStates()
@@ -145,6 +209,8 @@ func (m *fleetMetrics) write(w io.Writer) {
 		fmt.Fprintf(w, "pestod_fleet_breaker_state{replica=%q} %d\n", st.id, st.breaker)
 	}
 }
+
+func trimHopFloat(f float64) string { return fmt.Sprintf("%g", f) }
 
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))

@@ -14,7 +14,9 @@ import (
 	"time"
 
 	"pesto/internal/engine"
+	"pesto/internal/obs"
 	"pesto/internal/service"
+	"pesto/internal/trace"
 )
 
 // Config sizes the fleet router. The zero value of every field means
@@ -64,6 +66,9 @@ type Config struct {
 	// BatchParallel bounds concurrent upstream calls made for one
 	// POST /v1/place/batch; zero means 2× the replica count.
 	BatchParallel int
+	// TraceHistory is how many recent traces the router retains for
+	// GET /v1/requests/{id}/trace; zero means 1024.
+	TraceHistory int
 	// Clock and Sleep are the router's time sources, injectable so the
 	// chaos harness runs on a virtual clock. Nil means time.Now and a
 	// context-aware timer sleep.
@@ -166,13 +171,15 @@ func (r *replica) isUp() bool {
 // it as an http.Handler; it serves the same /v1/place surface as a
 // single pestod plus POST /v1/place/batch.
 type Router struct {
-	cfg  Config
-	ring *ring
-	reps []*replica
-	mux  *http.ServeMux
-	met  *fleetMetrics
-	lat  *latencyTracker
-	pool *engine.Pool
+	cfg     Config
+	ring    *ring
+	reps    []*replica
+	repByID map[string]*replica
+	mux     *http.ServeMux
+	met     *fleetMetrics
+	lat     *latencyTracker
+	pool    *engine.Pool
+	traces  *traceStore
 }
 
 // New builds a Router over the backends. Backend IDs must be non-empty
@@ -193,15 +200,17 @@ func New(cfg Config, backends ...Backend) (*Router, error) {
 	}
 	cfg = cfg.withDefaults(len(backends))
 	rt := &Router{
-		cfg:  cfg,
-		ring: newRing(ids, cfg.VNodes),
-		met:  newFleetMetrics(),
-		lat:  &latencyTracker{},
-		mux:  http.NewServeMux(),
-		pool: engine.New(cfg.BatchParallel),
+		cfg:     cfg,
+		ring:    newRing(ids, cfg.VNodes),
+		met:     newFleetMetrics(),
+		lat:     &latencyTracker{},
+		mux:     http.NewServeMux(),
+		pool:    engine.New(cfg.BatchParallel),
+		traces:  newTraceStore(cfg.TraceHistory),
+		repByID: make(map[string]*replica, len(backends)),
 	}
 	for _, b := range backends {
-		rt.reps = append(rt.reps, &replica{
+		r := &replica{
 			b:  b,
 			up: true,
 			br: newBreaker(breakerConfig{
@@ -210,12 +219,15 @@ func New(cfg Config, backends ...Backend) (*Router, error) {
 				failFrac:   cfg.BreakerFailFrac,
 				cooldown:   cfg.BreakerCooldown,
 			}),
-		})
+		}
+		rt.reps = append(rt.reps, r)
+		rt.repByID[b.ID()] = r
 	}
 	rt.met.replicaStates = rt.replicaStates
 	rt.mux.HandleFunc("POST /v1/place", func(w http.ResponseWriter, r *http.Request) { rt.handleProxy(w, r, "place", "/v1/place") })
 	rt.mux.HandleFunc("POST /v1/trace", func(w http.ResponseWriter, r *http.Request) { rt.handleProxy(w, r, "trace", "/v1/trace") })
 	rt.mux.HandleFunc("POST /v1/place/batch", rt.handleBatch)
+	rt.mux.HandleFunc("GET /v1/requests/{id}/trace", rt.handleTrace)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	return rt, nil
@@ -251,7 +263,7 @@ func (rt *Router) ProbeAll(ctx context.Context) {
 
 func (rt *Router) probe(ctx context.Context, r *replica) {
 	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
-	resp, err := r.b.Do(pctx, http.MethodGet, "/healthz", nil)
+	resp, err := r.b.Do(pctx, http.MethodGet, "/healthz", nil, nil)
 	cancel()
 	healthy := err == nil && resp.Status == http.StatusOK
 	r.mu.Lock()
@@ -291,6 +303,12 @@ func (rt *Router) warmSync(ctx context.Context, target *replica) int {
 	if idx < 0 {
 		return 0
 	}
+	// Warm-sync is traced like client traffic: every export/import call
+	// is a hop of one synthetic trace, so a rejoin's data movement is
+	// reconstructable the same way a request's failover is.
+	lt := newLiveTrace(obs.TraceContext{TraceID: "warmsync-" + obs.NewTraceID()},
+		target.b.ID(), http.MethodPost, "/v1/cache/import")
+	rt.traces.put(lt)
 	installed := 0
 	for _, a := range rt.ring.arcs(idx) {
 		for _, peer := range rt.reps {
@@ -298,7 +316,7 @@ func (rt *Router) warmSync(ctx context.Context, target *replica) int {
 				continue
 			}
 			path := fmt.Sprintf("/v1/cache/export?lo=%d&hi=%d", a[0], a[1])
-			resp, err := peer.b.Do(ctx, http.MethodGet, path, nil)
+			resp, err := rt.syncDo(ctx, lt, peer, http.MethodGet, path, nil)
 			if err != nil || resp.Status != http.StatusOK {
 				continue
 			}
@@ -308,7 +326,7 @@ func (rt *Router) warmSync(ctx context.Context, target *replica) int {
 			if json.Unmarshal(resp.Body, &exp) != nil || len(exp.Entries) == 0 {
 				continue
 			}
-			ir, err := target.b.Do(ctx, http.MethodPost, "/v1/cache/import", resp.Body)
+			ir, err := rt.syncDo(ctx, lt, target, http.MethodPost, "/v1/cache/import", resp.Body)
 			if err != nil || ir.Status != http.StatusOK {
 				continue
 			}
@@ -319,6 +337,21 @@ func (rt *Router) warmSync(ctx context.Context, target *replica) int {
 		}
 	}
 	return installed
+}
+
+// syncDo performs one warm-sync call as a recorded hop of lt.
+func (rt *Router) syncDo(ctx context.Context, lt *liveTrace, r *replica, method, path string, body []byte) (*Response, error) {
+	seq, hdrVal, reqID := lt.beginHop("warm-sync", r.b.ID(), 0, rt.cfg.Clock().UnixNano())
+	hdr := make(http.Header)
+	hdr.Set(obs.TraceHeader, hdrVal)
+	hdr.Set("X-Request-ID", reqID)
+	resp, err := r.b.Do(ctx, method, path, hdr, body)
+	status := 0
+	if resp != nil {
+		status = resp.Status
+	}
+	lt.endHop(seq, rt.cfg.Clock().UnixNano(), status, err)
+	return resp, err
 }
 
 // errNoCandidates marks a pass where no replica was even attemptable:
@@ -332,8 +365,24 @@ var errNoCandidates = errors.New("fleet: no live replicas")
 // ring-order failover within a pass, deadline-aware backoff between
 // passes, hedging on slow replicas. It returns the first coherent
 // replica response (any status < 500 except 429) or the last error.
+// The request is traced under a fresh trace ID; callers that care
+// which use DoTraced.
 func (rt *Router) Do(ctx context.Context, method, path string, body []byte, fp [32]byte) (*Response, error) {
+	resp, _, err := rt.DoTraced(ctx, method, path, body, fp, obs.TraceContext{})
+	return resp, err
+}
+
+// DoTraced is Do under an explicit trace context: every backend
+// attempt becomes a recorded hop carrying X-Pesto-Trace and a
+// trace-derived X-Request-ID, retained for GET /v1/requests/{id}/trace.
+// A zero tc gets a fresh trace ID; the ID used is returned either way.
+func (rt *Router) DoTraced(ctx context.Context, method, path string, body []byte, fp [32]byte, tc obs.TraceContext) (*Response, string, error) {
+	if !tc.Valid() {
+		tc.TraceID = obs.NewTraceID()
+	}
 	order := rt.ring.successors(service.RingPoint(fp))
+	lt := newLiveTrace(tc, rt.reps[order[0]].b.ID(), method, path)
+	rt.traces.put(lt)
 	var lastErr error
 	var retryAfter time.Duration
 	for pass := 0; pass < rt.cfg.Passes; pass++ {
@@ -343,20 +392,20 @@ func (rt *Router) Do(ctx context.Context, method, path string, body []byte, fp [
 				d = retryAfter
 			}
 			if err := rt.cfg.Sleep(ctx, d); err != nil {
-				return nil, err
+				return nil, tc.TraceID, err
 			}
 			rt.met.addRetry()
 			retryAfter = 0
 		}
-		resp, ra, err := rt.onePass(ctx, method, path, body, order, false)
+		resp, ra, err := rt.onePass(ctx, method, path, body, order, false, pass, lt)
 		if resp != nil {
-			return resp, nil
+			return resp, tc.TraceID, nil
 		}
 		if errors.Is(err, errNoCandidates) {
 			// Nothing attemptable under the gates — last resort, same pass.
-			resp, ra, err = rt.onePass(ctx, method, path, body, order, true)
+			resp, ra, err = rt.onePass(ctx, method, path, body, order, true, pass, lt)
 			if resp != nil {
-				return resp, nil
+				return resp, tc.TraceID, nil
 			}
 		}
 		if ra > retryAfter {
@@ -366,18 +415,34 @@ func (rt *Router) Do(ctx context.Context, method, path string, body []byte, fp [
 			lastErr = err
 		}
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return nil, tc.TraceID, ctx.Err()
 		}
 	}
 	if lastErr == nil {
 		lastErr = errNoCandidates
 	}
-	return nil, lastErr
+	return nil, tc.TraceID, lastErr
+}
+
+// Trace reads back the router's hop record of a recent trace.
+func (rt *Router) Trace(id string) (TraceRecord, bool) {
+	lt, ok := rt.traces.get(id)
+	if !ok {
+		return TraceRecord{}, false
+	}
+	return lt.snapshot(), true
 }
 
 // onePass sweeps the ring order once. ignoreGates drops the liveness
 // and breaker checks (the last-resort sweep).
-func (rt *Router) onePass(ctx context.Context, method, path string, body []byte, order []int, ignoreGates bool) (*Response, time.Duration, error) {
+func (rt *Router) onePass(ctx context.Context, method, path string, body []byte, order []int, ignoreGates bool, pass int, lt *liveTrace) (*Response, time.Duration, error) {
+	kind := "first"
+	switch {
+	case ignoreGates:
+		kind = "last-resort"
+	case pass > 0:
+		kind = "retry"
+	}
 	var lastErr error
 	var retryAfter time.Duration
 	attempted := false
@@ -399,7 +464,7 @@ func (rt *Router) onePass(ctx context.Context, method, path string, body []byte,
 				}
 			}
 		}
-		resp, servedBy, err := rt.attempt(ctx, r, hedge, method, path, body)
+		resp, servedBy, seq, err := rt.attempt(ctx, r, hedge, method, path, body, kind, pass, lt)
 		if servedBy == hedge && hedge != nil {
 			i = hedgeIdx // the hedge consumed the next candidate
 		}
@@ -421,6 +486,7 @@ func (rt *Router) onePass(ctx context.Context, method, path string, body []byte,
 		if servedBy != rt.reps[order[0]] {
 			rt.met.addFailover()
 		}
+		lt.markServed(seq)
 		if resp.Header == nil {
 			resp.Header = make(http.Header)
 		}
@@ -439,25 +505,37 @@ type attemptResult struct {
 	err  error
 	rep  *replica
 	dur  time.Duration
+	seq  int
 }
 
 // attempt sends the request to prim, hedging to hedge (may be nil) if
 // prim outlives the tracked latency percentile. The first coherent
-// answer wins; returns which replica produced the returned result.
-func (rt *Router) attempt(ctx context.Context, prim, hedge *replica, method, path string, body []byte) (*Response, *replica, error) {
+// answer wins; returns which replica produced the returned result and
+// the hop sequence number of that result.
+func (rt *Router) attempt(ctx context.Context, prim, hedge *replica, method, path string, body []byte, kind string, pass int, lt *liveTrace) (*Response, *replica, int, error) {
 	ch := make(chan attemptResult, 2)
-	send := func(r *replica) {
+	send := func(r *replica, hopKind string) {
 		start := rt.cfg.Clock()
-		resp, err := r.b.Do(ctx, method, path, body)
+		seq, hdrVal, reqID := lt.beginHop(hopKind, r.b.ID(), pass, start.UnixNano())
+		hdr := make(http.Header)
+		hdr.Set(obs.TraceHeader, hdrVal)
+		hdr.Set("X-Request-ID", reqID)
+		resp, err := r.b.Do(ctx, method, path, hdr, body)
 		now := rt.cfg.Clock()
+		status := 0
+		if resp != nil {
+			status = resp.Status
+		}
+		lt.endHop(seq, now.UnixNano(), status, err)
+		rt.met.observeHop(hopKind, now.Sub(start))
 		r.br.record(now, err == nil && resp.Status < 500)
-		ch <- attemptResult{resp: resp, err: err, rep: r, dur: now.Sub(start)}
+		ch <- attemptResult{resp: resp, err: err, rep: r, dur: now.Sub(start), seq: seq}
 	}
-	go send(prim)
+	go send(prim, kind)
 	if hedge == nil {
 		res := <-ch
 		rt.observeLatency(res)
-		return res.resp, res.rep, res.err
+		return res.resp, res.rep, res.seq, res.err
 	}
 	timer := time.NewTimer(rt.lat.p95(rt.cfg.HedgeMin, rt.cfg.HedgeMax))
 	defer timer.Stop()
@@ -465,12 +543,12 @@ func (rt *Router) attempt(ctx context.Context, prim, hedge *replica, method, pat
 	select {
 	case res := <-ch:
 		rt.observeLatency(res)
-		return res.resp, res.rep, res.err
+		return res.resp, res.rep, res.seq, res.err
 	case <-timer.C:
 		if hedge.br.allow(rt.cfg.Clock()) {
 			rt.met.addHedge()
 			pending++
-			go send(hedge)
+			go send(hedge, "hedge")
 		}
 	}
 	var last attemptResult
@@ -487,7 +565,7 @@ func (rt *Router) attempt(ctx context.Context, prim, hedge *replica, method, pat
 	if last.rep == hedge {
 		rt.met.addHedgeWin()
 	}
-	return last.resp, last.rep, last.err
+	return last.resp, last.rep, last.seq, last.err
 }
 
 func (rt *Router) observeLatency(res attemptResult) {
@@ -575,13 +653,30 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request, endpoint, 
 		rt.writeError(w, endpoint, code, outcome, err)
 		return
 	}
-	resp, err := rt.Do(r.Context(), http.MethodPost, path, body, req.Graph.Fingerprint())
+	// Adopt the client's trace context when it sent a valid one (a
+	// fronting router, a test harness); mint a trace otherwise. The ID
+	// is echoed so the caller can fetch the stitched trace afterwards.
+	tc := clientTraceContext(r)
+	w.Header().Set(obs.TraceHeader, tc.TraceID)
+	resp, _, err := rt.DoTraced(r.Context(), http.MethodPost, path, body, req.Graph.Fingerprint(), tc)
 	if err != nil {
 		rt.writeError(w, endpoint, http.StatusServiceUnavailable, "unavailable", err)
 		return
 	}
 	relay(w, resp)
 	rt.met.request(endpoint, outcomeFor(resp.Status))
+}
+
+// clientTraceContext parses the request's X-Pesto-Trace, minting a
+// fresh root context when the header is absent or malformed. Overlong
+// IDs are rejected by the parser, which keeps derived per-hop request
+// IDs inside the replicas' X-Request-ID length cap.
+func clientTraceContext(r *http.Request) obs.TraceContext {
+	tc, err := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+	if err != nil {
+		return obs.TraceContext{TraceID: obs.NewTraceID()}
+	}
+	return tc
 }
 
 // BatchRequest is the body of POST /v1/place/batch: a list of
@@ -668,13 +763,18 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Fan out the unique requests across the ring. engine.Map returns
 	// results in submission order, so the response is deterministic for
-	// a fixed batch regardless of upstream concurrency.
+	// a fixed batch regardless of upstream concurrency. Each unique
+	// entry is traced as `<batch trace>.b<unique>`, so the whole fan-out
+	// is reconstructable from the batch's own trace ID.
+	tc := clientTraceContext(r)
+	w.Header().Set(obs.TraceHeader, tc.TraceID)
 	type upstream struct {
 		status int
 		body   []byte
 	}
 	resps, _ := engine.Map(r.Context(), rt.pool, len(uniques), func(ctx context.Context, i int) (upstream, error) {
-		resp, err := rt.Do(ctx, http.MethodPost, "/v1/place", uniques[i].body, uniques[i].fp)
+		utc := obs.TraceContext{TraceID: fmt.Sprintf("%s.b%d", tc.TraceID, i), Parent: tc.Parent}
+		resp, _, err := rt.DoTraced(ctx, http.MethodPost, "/v1/place", uniques[i].body, uniques[i].fp, utc)
 		if err != nil {
 			eb, _ := json.Marshal(service.ErrorResponse{Error: err.Error()})
 			return upstream{status: http.StatusServiceUnavailable, body: eb}, nil
@@ -701,6 +801,52 @@ func countNeg(xs []int) int64 {
 		}
 	}
 	return n
+}
+
+// handleTrace serves GET /v1/requests/{id}/trace: the router's hop
+// record of one recent trace, stitched with each serving replica's
+// retained span dump into one Chrome Trace Event file — the router's
+// hops as one process lane, every replica's solver spans as their own
+// lanes, all aligned on the router's clock. Replicas that died or
+// restarted since simply contribute an empty lane; the hop record
+// itself always survives at the router.
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	lt, ok := rt.traces.get(id)
+	if !ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(service.ErrorResponse{Error: "no trace retained for id", RequestID: id})
+		return
+	}
+	rec := lt.snapshot()
+	hops := make([]trace.FleetHop, len(rec.Hops))
+	dumps := make([][]trace.FleetSpanRecord, len(rec.Hops))
+	for i, h := range rec.Hops {
+		hops[i] = trace.FleetHop{
+			Seq: h.Seq, Replica: h.Replica, Pass: h.Pass, Kind: h.Kind,
+			RequestID: h.RequestID, StartNs: h.StartNs, EndNs: h.EndNs,
+			Status: h.Status, Err: h.Err, Served: h.Served,
+		}
+		rep := rt.repByID[h.Replica]
+		if rep == nil {
+			continue
+		}
+		resp, err := rep.b.Do(r.Context(), http.MethodGet, "/v1/requests/"+h.RequestID+"/spans", nil, nil)
+		if err != nil || resp.Status != http.StatusOK {
+			continue
+		}
+		var dump struct {
+			Records []trace.FleetSpanRecord `json:"records"`
+		}
+		if json.Unmarshal(resp.Body, &dump) != nil {
+			continue
+		}
+		dumps[i] = dump.Records
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="pesto-fleet-trace.json"`)
+	trace.WriteChromeTraceFleet(w, id, hops, dumps)
 }
 
 // handleHealth reports the router's view of the fleet. 200 while at

@@ -29,7 +29,7 @@ type fakeBackend struct {
 }
 
 func (f *fakeBackend) ID() string { return f.id }
-func (f *fakeBackend) Do(ctx context.Context, method, path string, body []byte) (*Response, error) {
+func (f *fakeBackend) Do(ctx context.Context, method, path string, hdr http.Header, body []byte) (*Response, error) {
 	return f.fn(ctx, method, path, body)
 }
 

@@ -1,0 +1,183 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// postTraced is postJSON plus a client-supplied X-Pesto-Trace header.
+func postTraced(t *testing.T, h http.Handler, path, traceHeader string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Pesto-Trace", traceHeader)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestRouterAdoptsClientTrace checks a valid client trace context is
+// adopted: the ID is echoed, the hop record is retained under it, and
+// the one served hop names the replica the response header names.
+func TestRouterAdoptsClientTrace(t *testing.T) {
+	rt, _ := newServiceFleet(t, 3, Config{DisableHedge: true})
+	body, _ := placeBody(t, 1)
+	w := postTraced(t, rt, "/v1/place", "trace-unit;hop=0;parent=0", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.Bytes())
+	}
+	if got := w.Header().Get("X-Pesto-Trace"); got != "trace-unit" {
+		t.Fatalf("trace ID not echoed: %q", got)
+	}
+	rec, ok := rt.Trace("trace-unit")
+	if !ok {
+		t.Fatal("no trace retained under the client's ID")
+	}
+	if len(rec.Hops) != 1 {
+		t.Fatalf("healthy fleet took %d hops, want 1: %+v", len(rec.Hops), rec.Hops)
+	}
+	h := rec.Hops[0]
+	if !h.Served || h.Replica != w.Header().Get("X-Pesto-Replica") || h.Replica != rec.Owner {
+		t.Fatalf("served hop inconsistent with response: %+v owner=%s header=%s", h, rec.Owner, w.Header().Get("X-Pesto-Replica"))
+	}
+	if h.RequestID != "trace-unit.h0" || h.Kind != "first" || h.Status != http.StatusOK {
+		t.Fatalf("hop misrecorded: %+v", h)
+	}
+}
+
+// TestRouterMintsTraceWhenHeaderAbsent checks every request is traced
+// even without a client context: the minted ID is echoed and resolvable.
+func TestRouterMintsTraceWhenHeaderAbsent(t *testing.T) {
+	rt, _ := newServiceFleet(t, 3, Config{DisableHedge: true})
+	body, _ := placeBody(t, 2)
+	w := postJSON(t, rt, "/v1/place", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.Bytes())
+	}
+	id := w.Header().Get("X-Pesto-Trace")
+	if id == "" {
+		t.Fatal("no trace ID minted")
+	}
+	if _, ok := rt.Trace(id); !ok {
+		t.Fatalf("minted trace %q not retained", id)
+	}
+}
+
+// TestRouterTraceRecordsFailoverHops checks the trace of a request
+// whose ring owner is dead shows both the failed attempt and the
+// serving successor.
+func TestRouterTraceRecordsFailoverHops(t *testing.T) {
+	rt, _ := newServiceFleet(t, 3, Config{DisableHedge: true})
+	dead := &fakeBackend{id: "r1", fn: func(ctx context.Context, method, path string, body []byte) (*Response, error) {
+		return nil, ErrReplicaDown
+	}}
+	rt.reps[1].b = dead
+	body, _ := bodyOwnedBy(t, rt, 1)
+	w := postTraced(t, rt, "/v1/place", "trace-failover;hop=0;parent=0", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.Bytes())
+	}
+	rec, ok := rt.Trace("trace-failover")
+	if !ok {
+		t.Fatal("no trace retained")
+	}
+	if len(rec.Hops) < 2 || rec.Owner != "r1" {
+		t.Fatalf("failover trace incomplete: owner=%s hops=%+v", rec.Owner, rec.Hops)
+	}
+	if h := rec.Hops[0]; h.Replica != "r1" || h.Served || h.Err == "" {
+		t.Fatalf("dead-owner hop misrecorded: %+v", h)
+	}
+	last := rec.Hops[len(rec.Hops)-1]
+	if !last.Served || last.Replica == "r1" || last.Replica != w.Header().Get("X-Pesto-Replica") {
+		t.Fatalf("serving hop misrecorded: %+v", last)
+	}
+}
+
+// TestRouterStitchedTraceEndpoint checks GET /v1/requests/{id}/trace
+// merges the router's hops with the serving replica's span dump into
+// one Chrome trace, and 404s for unknown IDs.
+func TestRouterStitchedTraceEndpoint(t *testing.T) {
+	rt, _ := newServiceFleet(t, 3, Config{DisableHedge: true})
+	body, _ := placeBody(t, 3)
+	w := postTraced(t, rt, "/v1/place", "trace-stitch;hop=0;parent=0", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("place: status %d", w.Code)
+	}
+	served := w.Header().Get("X-Pesto-Replica")
+
+	g := httptest.NewRecorder()
+	rt.ServeHTTP(g, httptest.NewRequest(http.MethodGet, "/v1/requests/trace-stitch/trace", nil))
+	if g.Code != http.StatusOK {
+		t.Fatalf("stitch: status %d: %s", g.Code, g.Body.String())
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(g.Body.Bytes(), &out); err != nil {
+		t.Fatalf("stitched trace not JSON: %v", err)
+	}
+	stitched := g.Body.String()
+	if !strings.Contains(stitched, "fleet router") {
+		t.Fatal("router lane missing from stitched trace")
+	}
+	if !strings.Contains(stitched, fmt.Sprintf("replica %s", served)) {
+		t.Fatalf("serving replica %s has no lane in stitched trace: %.300s", served, stitched)
+	}
+	// The replica's span dump must actually be in there, not just the
+	// router's hop events: the solver emits placement.* spans.
+	if !strings.Contains(stitched, "placement.") {
+		t.Fatal("replica solver spans missing from stitched trace")
+	}
+
+	nf := httptest.NewRecorder()
+	rt.ServeHTTP(nf, httptest.NewRequest(http.MethodGet, "/v1/requests/no-such-trace/trace", nil))
+	if nf.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace: status %d, want 404", nf.Code)
+	}
+}
+
+// TestBatchFanOutChildTraces checks each unique batch entry is traced
+// as `<batch trace>.b<i>` so the fan-out is reconstructable.
+func TestBatchFanOutChildTraces(t *testing.T) {
+	rt, _ := newServiceFleet(t, 3, Config{DisableHedge: true})
+	b0, _ := placeBody(t, 4)
+	b1, _ := placeBody(t, 5)
+	batch, err := json.Marshal(BatchRequest{Requests: []json.RawMessage{b0, b1, b0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := postTraced(t, rt, "/v1/place/batch", "trace-batch;hop=0;parent=0", batch)
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", w.Code, w.Body.Bytes())
+	}
+	if got := w.Header().Get("X-Pesto-Trace"); got != "trace-batch" {
+		t.Fatalf("batch trace ID not echoed: %q", got)
+	}
+	// Two unique entries (the third is a dedupe of the first) → two
+	// child traces, each with a served hop.
+	for i := 0; i < 2; i++ {
+		id := fmt.Sprintf("trace-batch.b%d", i)
+		rec, ok := rt.Trace(id)
+		if !ok {
+			t.Fatalf("no child trace %s", id)
+		}
+		servedHops := 0
+		for _, h := range rec.Hops {
+			if h.Served {
+				servedHops++
+			}
+		}
+		if servedHops != 1 {
+			t.Fatalf("child trace %s: %d served hops, want 1", id, servedHops)
+		}
+	}
+	if _, ok := rt.Trace("trace-batch.b2"); ok {
+		t.Fatal("deduplicated entry got its own child trace")
+	}
+}

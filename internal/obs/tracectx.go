@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TraceHeader is the HTTP header carrying a TraceContext across fleet
+// hops: the router stamps it on every backend attempt (first try,
+// retry, hedge, last resort, warm-sync) and each replica tags its
+// telemetry with the parsed context, so one request's spans can be
+// stitched back together across replicas afterwards.
+const TraceHeader = "X-Pesto-Trace"
+
+// maxTraceIDLen bounds the trace ID so identifiers derived from it —
+// the per-hop request IDs `<id>.b<unit>.h<seq>` the router sends as
+// X-Request-ID — stay under the service's 120-byte request-ID cap.
+const maxTraceIDLen = 96
+
+// TraceContext identifies one request's position in a fleet-wide
+// trace: which trace it belongs to, how many hops preceded it, and the
+// caller's span at the time the hop was made (0 = no enclosing span).
+//
+// The wire form is `<id>;hop=<n>;parent=<p>` — see Header and
+// ParseTraceHeader. The zero value is "no trace".
+type TraceContext struct {
+	TraceID string // opaque ID, 1..96 printable ASCII bytes, no ';'
+	Hop     int    // hops taken before this one (the next hop's sequence number)
+	Parent  uint64 // caller's span ID, 0 when none
+}
+
+// Valid reports whether the context names a trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != "" }
+
+// Header renders the wire form `<id>;hop=<n>;parent=<p>`. All three
+// fields are always present so parsers need no defaulting.
+func (tc TraceContext) Header() string {
+	return tc.TraceID + ";hop=" + strconv.Itoa(tc.Hop) + ";parent=" + strconv.FormatUint(tc.Parent, 10)
+}
+
+// HopRequestID derives the request ID of hop seq within this trace:
+// `<id>.h<seq>`. The router sends it as X-Request-ID so each replica's
+// span dump is retrievable under a trace-derived key.
+func (tc TraceContext) HopRequestID(seq int) string {
+	return tc.TraceID + ".h" + strconv.Itoa(seq)
+}
+
+// ValidTraceID reports whether id is acceptable as a trace ID: 1 to 96
+// bytes, printable ASCII (0x21..0x7e), and free of the ';' separator.
+func ValidTraceID(id string) bool {
+	if id == "" || len(id) > maxTraceIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if b := id[i]; b <= ' ' || b > '~' || b == ';' {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseTraceHeader parses the wire form produced by Header. The ID
+// comes first; the hop and parent fields may appear in either order
+// but each at most once. Missing fields default to zero, so a bare
+// `<id>` is a valid root context.
+func ParseTraceHeader(s string) (TraceContext, error) {
+	parts := strings.Split(s, ";")
+	tc := TraceContext{TraceID: parts[0]}
+	if !ValidTraceID(tc.TraceID) {
+		return TraceContext{}, fmt.Errorf("trace header: bad trace ID %q", parts[0])
+	}
+	var sawHop, sawParent bool
+	for _, part := range parts[1:] {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return TraceContext{}, fmt.Errorf("trace header: field %q is not key=value", part)
+		}
+		switch key {
+		case "hop":
+			if sawHop {
+				return TraceContext{}, fmt.Errorf("trace header: duplicate hop field")
+			}
+			sawHop = true
+			n, err := strconv.ParseUint(val, 10, 31)
+			if err != nil {
+				return TraceContext{}, fmt.Errorf("trace header: bad hop %q", val)
+			}
+			tc.Hop = int(n)
+		case "parent":
+			if sawParent {
+				return TraceContext{}, fmt.Errorf("trace header: duplicate parent field")
+			}
+			sawParent = true
+			p, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return TraceContext{}, fmt.Errorf("trace header: bad parent %q", val)
+			}
+			tc.Parent = p
+		default:
+			return TraceContext{}, fmt.Errorf("trace header: unknown field %q", key)
+		}
+	}
+	return tc, nil
+}
+
+// NewTraceID generates a fresh random trace ID (16 hex digits).
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("obs: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,41 @@
+package obs
+
+import "testing"
+
+// FuzzParseTraceHeader holds the trace-header parser to its contract
+// on arbitrary input: never panic, and on accepted input produce a
+// context whose re-rendered header parses back to the same value
+// (render/parse is a fixed point).
+func FuzzParseTraceHeader(f *testing.F) {
+	f.Add("deadbeef01234567;hop=2;parent=17")
+	f.Add("abc")
+	f.Add("abc;parent=9;hop=2")
+	f.Add("")
+	f.Add(";hop=1")
+	f.Add("ok;hop=1;hop=2")
+	f.Add("ok;hop=18446744073709551616")
+	f.Add("id with space;hop=0")
+	f.Add("x;bogus=1")
+	f.Fuzz(func(t *testing.T, s string) {
+		tc, err := ParseTraceHeader(s)
+		if err != nil {
+			if tc != (TraceContext{}) {
+				t.Fatalf("error path returned non-zero context %+v for %q", tc, s)
+			}
+			return
+		}
+		if !ValidTraceID(tc.TraceID) {
+			t.Fatalf("accepted invalid trace ID %q from %q", tc.TraceID, s)
+		}
+		if tc.Hop < 0 {
+			t.Fatalf("accepted negative hop %d from %q", tc.Hop, s)
+		}
+		again, err := ParseTraceHeader(tc.Header())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", tc.Header(), s, err)
+		}
+		if again != tc {
+			t.Fatalf("render/parse not a fixed point: %+v -> %q -> %+v", tc, tc.Header(), again)
+		}
+	})
+}

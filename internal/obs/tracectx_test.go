@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	cases := []TraceContext{
+		{TraceID: "a", Hop: 0, Parent: 0},
+		{TraceID: "deadbeef01234567", Hop: 3, Parent: 42},
+		{TraceID: strings.Repeat("x", maxTraceIDLen), Hop: 1<<31 - 1, Parent: 1<<64 - 1},
+		{TraceID: "has.dots-and_underscores!", Hop: 7, Parent: 0},
+	}
+	for _, want := range cases {
+		got, err := ParseTraceHeader(want.Header())
+		if err != nil {
+			t.Fatalf("ParseTraceHeader(%q): %v", want.Header(), err)
+		}
+		if got != want {
+			t.Fatalf("round trip %q: got %+v want %+v", want.Header(), got, want)
+		}
+	}
+}
+
+func TestParseTraceHeaderDefaultsAndOrder(t *testing.T) {
+	got, err := ParseTraceHeader("abc")
+	if err != nil {
+		t.Fatalf("bare ID: %v", err)
+	}
+	if want := (TraceContext{TraceID: "abc"}); got != want {
+		t.Fatalf("bare ID: got %+v want %+v", got, want)
+	}
+	got, err = ParseTraceHeader("abc;parent=9;hop=2")
+	if err != nil {
+		t.Fatalf("reordered fields: %v", err)
+	}
+	if want := (TraceContext{TraceID: "abc", Hop: 2, Parent: 9}); got != want {
+		t.Fatalf("reordered fields: got %+v want %+v", got, want)
+	}
+}
+
+func TestParseTraceHeaderRejects(t *testing.T) {
+	bad := []string{
+		"",                                   // empty ID
+		" ;hop=1",                            // space in ID
+		"ok;hop=1;hop=2",                     // duplicate hop
+		"ok;parent=1;parent=2",               // duplicate parent
+		"ok;hop=-1",                          // negative hop
+		"ok;hop=1x",                          // trailing junk
+		"ok;parent=18446744073709551616",     // parent overflow
+		"ok;bogus=1",                         // unknown field
+		"ok;hop",                             // not key=value
+		"id with space",                      // space in ID
+		"tab\tid",                            // control char
+		strings.Repeat("x", maxTraceIDLen+1), // too long
+	}
+	for _, s := range bad {
+		if tc, err := ParseTraceHeader(s); err == nil {
+			t.Fatalf("ParseTraceHeader(%q) = %+v, want error", s, tc)
+		}
+	}
+}
+
+func TestHopRequestID(t *testing.T) {
+	tc := TraceContext{TraceID: "deadbeef"}
+	if got, want := tc.HopRequestID(0), "deadbeef.h0"; got != want {
+		t.Fatalf("HopRequestID(0) = %q, want %q", got, want)
+	}
+	if got, want := tc.HopRequestID(12), "deadbeef.h12"; got != want {
+		t.Fatalf("HopRequestID(12) = %q, want %q", got, want)
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || !ValidTraceID(a) {
+		t.Fatalf("NewTraceID() = %q, want 16 hex digits", a)
+	}
+	if a == b {
+		t.Fatalf("two NewTraceID calls collided: %q", a)
+	}
+}

@@ -307,6 +307,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 	s.met.request("delta", "ok")
 	s.met.cacheEvent(cacheStatus(hit))
+	s.slo.observe("availability", false)
 	finish("ok")
 }
 

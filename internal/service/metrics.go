@@ -62,6 +62,11 @@ type metrics struct {
 	queueDepth   func() int64
 	inFlight     func() int64
 	cacheEntries func() int64
+	// sloSnapshot reads the SLO tracker's objectives (sorted by name);
+	// flightStats reads the flight recorder's capture counters. Both
+	// take only their owner's lock, never this one.
+	sloSnapshot func() []sloSnapshot
+	flightStats func() (captured int, droppedFiles int64, ringTotal uint64)
 }
 
 // solveHistogram is one cumulative-bucket latency histogram.
@@ -265,6 +270,58 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintln(w, "# HELP pestod_incumbent_improvements_total Branch-and-bound incumbent improvements found by solves.")
 	fmt.Fprintln(w, "# TYPE pestod_incumbent_improvements_total counter")
 	fmt.Fprintf(w, "pestod_incumbent_improvements_total %d\n", m.incumbents)
+
+	var slos []sloSnapshot
+	if m.sloSnapshot != nil {
+		slos = m.sloSnapshot()
+	}
+	fmt.Fprintln(w, "# HELP pestod_slo_events_total Events classified against each SLO (good within objective, bad burning budget).")
+	fmt.Fprintln(w, "# TYPE pestod_slo_events_total counter")
+	for _, s := range slos {
+		fmt.Fprintf(w, "pestod_slo_events_total{result=\"bad\",slo=%q} %d\n", s.name, s.bad)
+		fmt.Fprintf(w, "pestod_slo_events_total{result=\"good\",slo=%q} %d\n", s.name, s.good)
+	}
+	fmt.Fprintln(w, "# HELP pestod_slo_error_budget_used_fraction Lifetime bad fraction over the error budget (1.0 = budget exactly spent).")
+	fmt.Fprintln(w, "# TYPE pestod_slo_error_budget_used_fraction gauge")
+	for _, s := range slos {
+		fmt.Fprintf(w, "pestod_slo_error_budget_used_fraction{slo=%q} %g\n", s.name, s.budgetUsed)
+	}
+	fmt.Fprintln(w, "# HELP pestod_slo_burn_rate Windowed bad fraction over the error budget (multiwindow: 5m and 1h).")
+	fmt.Fprintln(w, "# TYPE pestod_slo_burn_rate gauge")
+	for _, s := range slos {
+		fmt.Fprintf(w, "pestod_slo_burn_rate{slo=%q,window=\"1h\"} %g\n", s.name, s.slowRate)
+		fmt.Fprintf(w, "pestod_slo_burn_rate{slo=%q,window=\"5m\"} %g\n", s.name, s.fastRate)
+	}
+	fmt.Fprintln(w, "# HELP pestod_slo_fast_burn_active Whether the SLO is currently in a fast-burn episode (both windows over 14.4x).")
+	fmt.Fprintln(w, "# TYPE pestod_slo_fast_burn_active gauge")
+	for _, s := range slos {
+		active := 0
+		if s.fastBurnActive {
+			active = 1
+		}
+		fmt.Fprintf(w, "pestod_slo_fast_burn_active{slo=%q} %d\n", s.name, active)
+	}
+	fmt.Fprintln(w, "# HELP pestod_slo_fast_burn_events_total Fast-burn episodes entered since startup (edge-triggered).")
+	fmt.Fprintln(w, "# TYPE pestod_slo_fast_burn_events_total counter")
+	for _, s := range slos {
+		fmt.Fprintf(w, "pestod_slo_fast_burn_events_total{slo=%q} %d\n", s.name, s.fastBurnEvents)
+	}
+
+	var bundles int
+	var droppedFiles int64
+	var ringTotal uint64
+	if m.flightStats != nil {
+		bundles, droppedFiles, ringTotal = m.flightStats()
+	}
+	fmt.Fprintln(w, "# HELP pestod_flight_bundles_total Flight-recorder repro bundles captured (persisted or not).")
+	fmt.Fprintln(w, "# TYPE pestod_flight_bundles_total counter")
+	fmt.Fprintf(w, "pestod_flight_bundles_total %d\n", bundles)
+	fmt.Fprintln(w, "# HELP pestod_flight_bundle_files_dropped_total Bundle files not written because the per-process cap was reached.")
+	fmt.Fprintln(w, "# TYPE pestod_flight_bundle_files_dropped_total counter")
+	fmt.Fprintf(w, "pestod_flight_bundle_files_dropped_total %d\n", droppedFiles)
+	fmt.Fprintln(w, "# HELP pestod_flight_ring_records_total Telemetry records ever admitted to the flight-recorder ring.")
+	fmt.Fprintln(w, "# TYPE pestod_flight_ring_records_total counter")
+	fmt.Fprintf(w, "pestod_flight_ring_records_total %d\n", ringTotal)
 }
 
 func gauge(f func() int64) int64 {

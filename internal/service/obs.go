@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -9,6 +10,26 @@ import (
 
 	"pesto/internal/obs"
 )
+
+// reqMeta is the request identity the flight recorder stamps into
+// bundles: the request ID and (when the request arrived through the
+// fleet router) its trace ID. It travels by context so detached
+// cache-fill solves keep it.
+type reqMeta struct {
+	rid     string
+	traceID string
+}
+
+type reqMetaKey struct{}
+
+func withReqMeta(ctx context.Context, m reqMeta) context.Context {
+	return context.WithValue(ctx, reqMetaKey{}, m)
+}
+
+func reqMetaFrom(ctx context.Context) reqMeta {
+	m, _ := ctx.Value(reqMetaKey{}).(reqMeta)
+	return m
+}
 
 // maxRequestIDLen caps client-supplied X-Request-ID values so a hostile
 // header cannot bloat logs or the span store.
@@ -114,7 +135,14 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	out := struct {
 		RequestID string           `json:"requestId"`
 		Records   []spanDumpRecord `json:"records"`
-	}{RequestID: id, Records: make([]spanDumpRecord, 0, len(recs))}
+	}{RequestID: id, Records: dumpRecords(recs)}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// dumpRecords converts telemetry records to the span-dump wire form.
+func dumpRecords(recs []obs.Record) []spanDumpRecord {
+	out := make([]spanDumpRecord, 0, len(recs))
 	for _, rec := range recs {
 		dr := spanDumpRecord{
 			Kind:   rec.Kind.String(),
@@ -131,8 +159,23 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 				dr.Attrs[a.Key] = a.Value
 			}
 		}
-		out.Records = append(out.Records, dr)
+		out = append(out, dr)
 	}
+	return out
+}
+
+// handleFlight serves GET /debug/flight: the flight recorder's
+// always-on ring (the process's most recent telemetry across all
+// requests, oldest first) plus the capture counters.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	recs := s.flight.Ring().Snapshot()
+	captured, dropped, total := s.flight.Stats()
+	out := struct {
+		Records            []spanDumpRecord `json:"records"`
+		TotalRecords       uint64           `json:"totalRecords"`
+		BundlesCaptured    int              `json:"bundlesCaptured"`
+		BundleFilesDropped int64            `json:"bundleFilesDropped"`
+	}{Records: dumpRecords(recs), TotalRecords: total, BundlesCaptured: captured, BundleFilesDropped: dropped}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)
 }

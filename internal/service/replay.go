@@ -1,0 +1,87 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"pesto/internal/flight"
+	"pesto/internal/graph"
+	"pesto/internal/placement"
+)
+
+// ReplayResult is the outcome of re-executing a flight-recorder
+// bundle. Match reports whether the replay reproduced the captured
+// response byte-for-byte (or, for verify-failure bundles, reproduced
+// the verification failure).
+type ReplayResult struct {
+	Match bool
+	// Stage is the ladder rung the replayed solve was served by
+	// ("verify-failure" when the bundle's failure reproduced).
+	Stage string
+	// Got and Want are the replayed and captured response bytes, for
+	// diffing a mismatch.
+	Got, Want []byte
+}
+
+// ReplayBundle re-executes a captured repro bundle: same graph, same
+// normalized options, same seed. Solves are deterministic at any
+// worker count, so parallel only changes speed, never bytes; zero
+// means GOMAXPROCS.
+func ReplayBundle(ctx context.Context, b flight.Bundle, parallel int) (ReplayResult, error) {
+	if !b.Replayable {
+		return ReplayResult{}, fmt.Errorf("bundle trigger %q carries no graph/options pair to replay", b.Trigger)
+	}
+	g, err := graph.ReadJSON(bytes.NewReader(b.Graph))
+	if err != nil {
+		return ReplayResult{}, fmt.Errorf("decode bundle graph: %w", err)
+	}
+	var opts RequestOptions
+	if err := json.Unmarshal(b.Options, &opts); err != nil {
+		return ReplayResult{}, fmt.Errorf("decode bundle options: %w", err)
+	}
+	cfg := Config{Parallel: parallel}.withDefaults()
+	if budget := opts.budget(); budget > cfg.MaxBudget {
+		// The capturing server may have allowed a bigger budget than
+		// our defaults; clamping here would change the entry rung and
+		// break byte identity.
+		cfg.MaxBudget = budget
+	}
+	opts, err = opts.normalized(cfg)
+	if err != nil {
+		return ReplayResult{}, fmt.Errorf("normalize bundle options: %w", err)
+	}
+	fp := g.Fingerprint()
+	key := opts.cacheKey(fp)
+	res, err := placement.PlaceMultiGPU(ctx, g, opts.system(), opts.placeOptions(cfg))
+	if err != nil {
+		if b.Trigger == "verify-failure" && errors.Is(err, placement.ErrVerification) && len(b.Response) == 0 {
+			return ReplayResult{Match: true, Stage: "verify-failure"}, nil
+		}
+		return ReplayResult{}, err
+	}
+	got, err := json.Marshal(placeResponse(fp, key, res))
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	// The bundle writer indents its JSON, re-indenting the embedded
+	// response; compact it back so the comparison is against the exact
+	// bytes the server marshaled.
+	want := compactJSON(b.Response)
+	return ReplayResult{
+		Match: bytes.Equal(got, want),
+		Stage: res.Provenance.Stage.String(),
+		Got:   got,
+		Want:  want,
+	}, nil
+}
+
+func compactJSON(b []byte) []byte {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, b); err != nil {
+		return b
+	}
+	return buf.Bytes()
+}

@@ -27,6 +27,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/hex"
 	"encoding/json"
@@ -42,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pesto/internal/flight"
 	"pesto/internal/graph"
 	"pesto/internal/obs"
 	"pesto/internal/placement"
@@ -88,6 +90,16 @@ type Config struct {
 	// against them 404 (clients fall back to a full place) — plans are
 	// unaffected, they live in the plan cache.
 	BaseGraphEntries int
+	// FlightDir is where the flight recorder persists triggered repro
+	// bundles; empty keeps captures in memory only (still counted and
+	// visible in /metrics, not written to disk).
+	FlightDir string
+	// FlightRingSize bounds the flight recorder's always-on telemetry
+	// ring served at GET /debug/flight; zero means 4096 records.
+	FlightRingSize int
+	// FlightMaxBundles caps bundle files written per process; zero
+	// means 64.
+	FlightMaxBundles int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,13 +141,15 @@ func (c Config) withDefaults() Config {
 // Server is the placement-as-a-service daemon. Construct with New,
 // mount as an http.Handler, and Drain before exit.
 type Server struct {
-	cfg   Config
-	cache *planCache
-	bases *baseStore
-	admit *admission
-	met   *metrics
-	mux   *http.ServeMux
-	spans *spanStore
+	cfg    Config
+	cache  *planCache
+	bases  *baseStore
+	admit  *admission
+	met    *metrics
+	mux    *http.ServeMux
+	spans  *spanStore
+	flight *flight.Recorder
+	slo    *sloTracker
 
 	// baseCtx bounds detached cache-fill solves; cancel aborts them
 	// when a drain deadline expires (the hard stop).
@@ -182,17 +196,35 @@ func New(cfg Config) *Server {
 		met:   newMetrics(),
 		mux:   http.NewServeMux(),
 		spans: newSpanStore(cfg.SpanHistory),
+		flight: flight.New(flight.Config{
+			Dir:        cfg.FlightDir,
+			RingSize:   cfg.FlightRingSize,
+			MaxBundles: cfg.FlightMaxBundles,
+		}),
+		slo: newSLOTracker(nil),
+	}
+	// A fast-burning SLO is itself a flight-recorder trigger: the
+	// bundle carries the ring (recent spans across requests) even
+	// though no single request is to blame.
+	s.slo.onFastBurn = func(slo string, fast, slow float64) {
+		s.flight.Capture(flight.Bundle{
+			Trigger: "slo-fast-burn",
+			Detail:  fmt.Sprintf("slo %s burning %.1fx budget (5m) / %.1fx (1h)", slo, fast, slow),
+		})
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.met.queueDepth = s.admit.queueLen
 	s.met.inFlight = s.admit.inFlight
 	s.met.cacheEntries = func() int64 { return int64(s.cache.len()) }
+	s.met.sloSnapshot = s.slo.snapshot
+	s.met.flightStats = s.flight.Stats
 	s.mux.HandleFunc("POST /v1/place", s.handlePlace)
 	s.mux.HandleFunc("POST /v1/place/delta", s.handleDelta)
 	s.mux.HandleFunc("POST /v1/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/cache/export", s.handleCacheExport)
 	s.mux.HandleFunc("POST /v1/cache/import", s.handleCacheImport)
 	s.mux.HandleFunc("GET /v1/requests/{id}/spans", s.handleSpans)
+	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -235,14 +267,30 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) beginTelemetry(w http.ResponseWriter, r *http.Request, endpoint string) (ctx context.Context, rid string, finish func(outcome string)) {
 	rid = requestID(r)
 	w.Header().Set("X-Request-ID", rid)
+	// Sinks: the per-request bounded memory sink (the span dump), the
+	// process-wide flight-recorder ring (always on), and optionally the
+	// structured logger.
 	sink := obs.NewBoundedMemorySink(requestSinkLimit)
-	sinks := []obs.Sink{sink}
+	sinks := []obs.Sink{sink, s.flight.Ring()}
 	var logger *slog.Logger
 	if s.cfg.Logger != nil {
 		logger = s.cfg.Logger.With("requestId", rid, "endpoint", endpoint)
 		sinks = append(sinks, obs.NewSlogSink(logger))
 	}
 	rec := obs.NewRecorder(sinks...)
+	// A fleet router hop arrives with an X-Pesto-Trace context; echo it
+	// and tag this request's telemetry with it, so the stitched trace
+	// and the span dump agree on which hop the records belong to.
+	var tc obs.TraceContext
+	if h := r.Header.Get(obs.TraceHeader); h != "" {
+		if parsed, err := obs.ParseTraceHeader(h); err == nil {
+			tc = parsed
+			w.Header().Set(obs.TraceHeader, h)
+			rec.Point("fleet.hop",
+				obs.String("traceId", tc.TraceID),
+				obs.Int("hop", int64(tc.Hop)))
+		}
+	}
 	start := time.Now()
 	finish = func(outcome string) {
 		rec.FlushCounters()
@@ -255,7 +303,9 @@ func (s *Server) beginTelemetry(w http.ResponseWriter, r *http.Request, endpoint
 				slog.Int64("durUs", time.Since(start).Microseconds()))
 		}
 	}
-	return obs.Into(r.Context(), rec), rid, finish
+	ctx = obs.Into(r.Context(), rec)
+	ctx = withReqMeta(ctx, reqMeta{rid: rid, traceID: tc.TraceID})
+	return ctx, rid, finish
 }
 
 // handlePlace serves POST /v1/place: decode, normalize, answer from
@@ -284,6 +334,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 	s.met.request("place", "ok")
 	s.met.cacheEvent(cacheStatus(hit))
+	s.slo.observe("availability", false)
 	finish("ok")
 }
 
@@ -320,11 +371,13 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if err := trace.WriteChromeTrace(w, req.Graph, sys, resp.Plan, step); err != nil {
 		// Headers are gone; nothing recoverable. Count it and move on.
 		s.met.request("trace", "error")
+		s.slo.observe("availability", true)
 		finish("error")
 		return
 	}
 	s.met.request("trace", "ok")
 	s.met.cacheEvent(cacheStatus(hit))
+	s.slo.observe("availability", false)
 	finish("ok")
 }
 
@@ -390,8 +443,10 @@ func (s *Server) respond(ctx context.Context, req *PlaceRequest, opts RequestOpt
 		defer stop()
 		// Detaching drops the request context's values too, so the
 		// requester's recorder is re-injected: the fill's spans and
-		// solver counters still land in its telemetry.
+		// solver counters still land in its telemetry. The request
+		// metadata rides along for the flight recorder's bundles.
 		fillCtx = obs.Into(fillCtx, obs.From(ctx))
+		fillCtx = withReqMeta(fillCtx, reqMetaFrom(ctx))
 		return s.solve(fillCtx, req.Graph, fp, key, opts)
 	})
 }
@@ -415,15 +470,48 @@ func (s *Server) solve(ctx context.Context, g *graph.Graph, fp, key [32]byte, op
 	elapsed := time.Since(start)
 	if err != nil {
 		s.met.observeSolve(elapsed, "error")
+		if errors.Is(err, placement.ErrVerification) {
+			// A verification failure is exactly what the flight recorder
+			// exists for: capture the full repro before the error
+			// propagates.
+			s.captureBundle(ctx, "verify-failure", err.Error(), g, fp, opts, "", elapsed, 0, nil)
+		}
 		return nil, err
 	}
-	s.met.observeSolve(elapsed, res.Provenance.Stage.String())
-	s.met.planServed(res.Provenance.Stage.String())
+	stage := res.Provenance.Stage.String()
+	s.met.observeSolve(elapsed, stage)
+	s.met.planServed(stage)
+	s.slo.observeLatency(stage, elapsed)
 	if pi := res.Provenance.Pipeline; pi != nil {
 		s.met.pipelinePlanServed(pi.Schedule, pi.Stages, pi.Bubble)
 	}
 
-	resp := PlaceResponse{
+	body, err := json.Marshal(placeResponse(fp, key, res))
+	if err != nil {
+		return nil, err
+	}
+	// Flight-recorder triggers, checked against the rolling baseline
+	// after the solve is already serialized (captures never delay or
+	// fail a response). A ladder collapse to the last rung outranks a
+	// merely slow solve.
+	slow, p99 := s.flight.SlowSolve(elapsed)
+	switch {
+	case res.Provenance.Degraded && res.Provenance.Stage == placement.StageFallback:
+		s.captureBundle(ctx, "degraded-fallback", "ladder degraded to "+stage,
+			g, fp, opts, stage, elapsed, p99, body)
+	case slow:
+		s.captureBundle(ctx, "slow-solve",
+			fmt.Sprintf("solve %v vs rolling p99 %v", elapsed, p99),
+			g, fp, opts, stage, elapsed, p99, body)
+	}
+	return body, nil
+}
+
+// placeResponse builds the deterministic response for one solve
+// result. It is shared by the serving path and bundle replay, so a
+// replayed solve reproduces the exact served bytes.
+func placeResponse(fp, key [32]byte, res *placement.Result) PlaceResponse {
+	return PlaceResponse{
 		Fingerprint: hex.EncodeToString(fp[:]),
 		CacheKey:    hex.EncodeToString(key[:]),
 		Plan:        res.Plan,
@@ -434,7 +522,45 @@ func (s *Server) solve(ctx context.Context, g *graph.Graph, fp, key [32]byte, op
 		Verified:    true, // placeOptions forces Verify; failures error out above
 		Pipeline:    res.Provenance.Pipeline,
 	}
-	return json.Marshal(resp)
+}
+
+// captureBundle snapshots one triggered repro bundle: the exact graph
+// and normalized options (replayable by `pesto -replay-bundle`), the
+// served response bytes when one exists, the request's solver counters
+// and the flight ring. Failures to capture are deliberately silent —
+// the flight recorder must never fail a request.
+func (s *Server) captureBundle(ctx context.Context, trigger, detail string, g *graph.Graph,
+	fp [32]byte, opts RequestOptions, stage string, elapsed, p99 time.Duration, respBody []byte) {
+	var gbuf bytes.Buffer
+	if err := g.WriteJSON(&gbuf); err != nil {
+		return
+	}
+	optsJSON, err := json.Marshal(opts)
+	if err != nil {
+		return
+	}
+	meta := reqMetaFrom(ctx)
+	b := flight.Bundle{
+		Trigger:       trigger,
+		Detail:        detail,
+		RequestID:     meta.rid,
+		TraceID:       meta.traceID,
+		Fingerprint:   hex.EncodeToString(fp[:]),
+		Stage:         stage,
+		Seed:          opts.Seed,
+		SolveNs:       elapsed.Nanoseconds(),
+		BaselineP99Ns: p99.Nanoseconds(),
+		Graph:         gbuf.Bytes(),
+		Options:       optsJSON,
+		Replayable:    true,
+	}
+	if len(respBody) > 0 {
+		b.Response = json.RawMessage(respBody)
+	}
+	if c := obs.From(ctx).Counters(); len(c) > 0 {
+		b.Counters = c
+	}
+	s.flight.Capture(b)
 }
 
 // httpError maps an error onto its status code, emits the JSON error
@@ -487,6 +613,9 @@ func (s *Server) reject(w http.ResponseWriter, endpoint, rid string, code int, o
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(resp)
 	s.met.request(endpoint, outcome)
+	// Availability SLO: only server-side failures burn the error
+	// budget. 4xx rejections are the client's problem.
+	s.slo.observe("availability", code >= 500)
 }
 
 func cacheStatus(hit bool) string {

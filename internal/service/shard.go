@@ -69,6 +69,7 @@ func (s *Server) handleCacheExport(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)
 	s.met.request("cache_export", "ok")
+	s.slo.observe("availability", false)
 }
 
 // handleCacheImport serves POST /v1/cache/import: bulk-install
@@ -113,6 +114,7 @@ func (s *Server) handleCacheImport(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(res)
 	s.met.request("cache_import", "ok")
+	s.slo.observe("availability", false)
 }
 
 func hex32(s string) ([32]byte, error) {

@@ -1,0 +1,259 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"pesto/internal/placement"
+)
+
+// SLO burn-rate monitoring, the SRE multiwindow recipe: each objective
+// tracks its bad-event fraction over a fast (5m) and a slow (1h)
+// sliding window; the burn rate is that fraction divided by the error
+// budget, so rate 1.0 consumes the budget exactly at the sustainable
+// pace. A fast-burn alert fires — edge-triggered, once per episode —
+// when BOTH windows exceed 14.4x (a 0.1% budget fully gone in ~50
+// minutes), the short window confirming it is happening *now*, the
+// long one filtering blips. Hysteresis re-arms the alert only after
+// the fast window falls below half the threshold.
+const (
+	sloFastWindow = 5 * time.Minute
+	sloFastBucket = 10 * time.Second
+	sloSlowWindow = time.Hour
+	sloSlowBucket = time.Minute
+
+	sloFastBurnThreshold = 14.4
+	sloFastBurnClear     = sloFastBurnThreshold / 2
+)
+
+// sloObjective is one service-level objective: a name, an error
+// budget (the tolerated bad fraction), and — for the per-rung latency
+// objectives — the latency threshold that separates good from bad.
+type sloObjective struct {
+	name      string
+	budget    float64
+	threshold time.Duration
+}
+
+// sloLatencyThresholds are the per-rung latency objectives: a solve
+// served by a rung should finish within that rung's regime. They
+// bracket what the solve-duration histogram buckets already encode —
+// the exact ILP gets tens of seconds, the heuristic rung must be
+// near-instant.
+var sloLatencyThresholds = []struct {
+	stage     placement.Stage
+	threshold time.Duration
+}{
+	{placement.StageILP, 30 * time.Second},
+	{placement.StageRefine, 2500 * time.Millisecond},
+	{placement.StagePipelineDP, 250 * time.Millisecond},
+	{placement.StageFallback, 100 * time.Millisecond},
+	{placement.StageReplan, time.Second},
+	{placement.StageIncremental, time.Second},
+}
+
+// sloObjectives builds the fixed objective set. Objectives are
+// pre-registered (never created on demand) so the idle /metrics scrape
+// is complete and byte-stable.
+func sloObjectives() []sloObjective {
+	objs := []sloObjective{
+		// Availability: at most 0.1% of requests may fail server-side
+		// (5xx). Client errors are the client's budget, not ours.
+		{name: "availability", budget: 0.001},
+	}
+	for _, lt := range sloLatencyThresholds {
+		objs = append(objs, sloObjective{
+			name:      "latency-" + lt.stage.String(),
+			budget:    0.01,
+			threshold: lt.threshold,
+		})
+	}
+	return objs
+}
+
+// burnBucket is one time-bucket of good/bad counts. epoch identifies
+// which absolute bucket interval the counts belong to, so stale slots
+// of the ring are recognized and reset lazily.
+type burnBucket struct {
+	epoch     int64
+	good, bad int64
+}
+
+// burnWindow is a bucketed sliding window: a ring of step-sized
+// buckets indexed by absolute epoch, summed over the last len(buckets)
+// epochs at read time. Writes and reads are O(1) and O(len) with no
+// timers or goroutines.
+type burnWindow struct {
+	step    time.Duration
+	buckets []burnBucket
+}
+
+func newBurnWindow(step time.Duration, n int) *burnWindow {
+	return &burnWindow{step: step, buckets: make([]burnBucket, n)}
+}
+
+func (w *burnWindow) observe(now time.Time, bad bool) {
+	epoch := now.UnixNano() / int64(w.step)
+	b := &w.buckets[int(epoch%int64(len(w.buckets)))]
+	if b.epoch != epoch {
+		*b = burnBucket{epoch: epoch}
+	}
+	if bad {
+		b.bad++
+	} else {
+		b.good++
+	}
+}
+
+// totals sums the window's live buckets: epochs within the window
+// ending at now.
+func (w *burnWindow) totals(now time.Time) (good, bad int64) {
+	epoch := now.UnixNano() / int64(w.step)
+	min := epoch - int64(len(w.buckets)) + 1
+	for i := range w.buckets {
+		b := w.buckets[i]
+		if b.epoch >= min && b.epoch <= epoch {
+			good += b.good
+			bad += b.bad
+		}
+	}
+	return good, bad
+}
+
+// burnRate is the window's bad fraction divided by the error budget;
+// zero while the window is empty.
+func (w *burnWindow) burnRate(now time.Time, budget float64) float64 {
+	good, bad := w.totals(now)
+	total := good + bad
+	if total == 0 || budget <= 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / budget
+}
+
+// sloState is one objective's live accounting.
+type sloState struct {
+	obj        sloObjective
+	fast, slow *burnWindow
+	good, bad  int64
+
+	fastBurnActive bool
+	fastBurnEvents int64
+}
+
+// sloTracker owns the fixed objective set. The states map is built
+// once and never mutated afterward, so lookups need no lock; the
+// per-state counters are guarded by mu.
+type sloTracker struct {
+	clock func() time.Time
+	// onFastBurn, when set, is called (outside the lock) each time an
+	// objective newly enters fast burn — the flight recorder's trigger.
+	onFastBurn func(slo string, fastRate, slowRate float64)
+
+	mu     sync.Mutex
+	names  []string
+	states map[string]*sloState
+}
+
+func newSLOTracker(clock func() time.Time) *sloTracker {
+	if clock == nil {
+		clock = time.Now
+	}
+	t := &sloTracker{clock: clock, states: make(map[string]*sloState)}
+	for _, obj := range sloObjectives() {
+		t.states[obj.name] = &sloState{
+			obj:  obj,
+			fast: newBurnWindow(sloFastBucket, int(sloFastWindow/sloFastBucket)),
+			slow: newBurnWindow(sloSlowBucket, int(sloSlowWindow/sloSlowBucket)),
+		}
+		t.names = append(t.names, obj.name)
+	}
+	sort.Strings(t.names)
+	return t
+}
+
+// observe records one event against the named objective. Unknown
+// names are dropped (objectives are fixed, not created on demand).
+func (t *sloTracker) observe(name string, bad bool) {
+	st := t.states[name]
+	if st == nil {
+		return
+	}
+	t.mu.Lock()
+	now := t.clock()
+	if bad {
+		st.bad++
+	} else {
+		st.good++
+	}
+	st.fast.observe(now, bad)
+	st.slow.observe(now, bad)
+	var fire bool
+	var fastRate, slowRate float64
+	if bad && !st.fastBurnActive {
+		fastRate = st.fast.burnRate(now, st.obj.budget)
+		slowRate = st.slow.burnRate(now, st.obj.budget)
+		if fastRate >= sloFastBurnThreshold && slowRate >= sloFastBurnThreshold {
+			st.fastBurnActive = true
+			st.fastBurnEvents++
+			fire = true
+		}
+	} else if !bad && st.fastBurnActive {
+		if st.fast.burnRate(now, st.obj.budget) < sloFastBurnClear {
+			st.fastBurnActive = false
+		}
+	}
+	cb := t.onFastBurn
+	t.mu.Unlock()
+	if fire && cb != nil {
+		cb(name, fastRate, slowRate)
+	}
+}
+
+// observeLatency classifies one served solve against its rung's
+// latency objective. Rungs without an objective (none today) are
+// ignored.
+func (t *sloTracker) observeLatency(stage string, d time.Duration) {
+	st := t.states["latency-"+stage]
+	if st == nil {
+		return
+	}
+	t.observe(st.obj.name, d > st.obj.threshold)
+}
+
+// sloSnapshot is one objective's scrape-time reading.
+type sloSnapshot struct {
+	name           string
+	good, bad      int64
+	budgetUsed     float64 // lifetime bad fraction / budget
+	fastRate       float64
+	slowRate       float64
+	fastBurnActive bool
+	fastBurnEvents int64
+}
+
+// snapshot reads every objective in sorted-name order.
+func (t *sloTracker) snapshot() []sloSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock()
+	out := make([]sloSnapshot, 0, len(t.names))
+	for _, name := range t.names {
+		st := t.states[name]
+		snap := sloSnapshot{
+			name:           name,
+			good:           st.good,
+			bad:            st.bad,
+			fastRate:       st.fast.burnRate(now, st.obj.budget),
+			slowRate:       st.slow.burnRate(now, st.obj.budget),
+			fastBurnActive: st.fastBurnActive,
+			fastBurnEvents: st.fastBurnEvents,
+		}
+		if total := st.good + st.bad; total > 0 && st.obj.budget > 0 {
+			snap.budgetUsed = (float64(st.bad) / float64(total)) / st.obj.budget
+		}
+		out = append(out, snap)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for the SLO tracker.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{now: time.Unix(1754550000, 0)} }
+func snapFor(t *testing.T, tr *sloTracker, name string) sloSnapshot {
+	t.Helper()
+	for _, s := range tr.snapshot() {
+		if s.name == name {
+			return s
+		}
+	}
+	t.Fatalf("objective %q not in snapshot", name)
+	return sloSnapshot{}
+}
+
+func TestBurnWindowSlides(t *testing.T) {
+	clk := newFakeClock()
+	w := newBurnWindow(10*time.Second, 30) // 5m window
+	w.observe(clk.Now(), true)
+	w.observe(clk.Now(), false)
+	if good, bad := w.totals(clk.Now()); good != 1 || bad != 1 {
+		t.Fatalf("totals = %d/%d, want 1/1", good, bad)
+	}
+	// Still inside the window 4 minutes later.
+	clk.advance(4 * time.Minute)
+	if _, bad := w.totals(clk.Now()); bad != 1 {
+		t.Fatalf("bad expired early")
+	}
+	// Gone once the window has slid past.
+	clk.advance(2 * time.Minute)
+	if good, bad := w.totals(clk.Now()); good != 0 || bad != 0 {
+		t.Fatalf("totals = %d/%d after expiry, want 0/0", good, bad)
+	}
+	// A stale ring slot is reset when its epoch comes around again.
+	w.observe(clk.Now(), false)
+	if good, bad := w.totals(clk.Now()); good != 1 || bad != 0 {
+		t.Fatalf("totals = %d/%d after reuse, want 1/0", good, bad)
+	}
+}
+
+func TestSLOFastBurnEdgeTriggeredWithHysteresis(t *testing.T) {
+	clk := newFakeClock()
+	tr := newSLOTracker(clk.Now)
+	var fired []string
+	tr.onFastBurn = func(slo string, fast, slow float64) {
+		fired = append(fired, slo)
+		if fast < sloFastBurnThreshold || slow < sloFastBurnThreshold {
+			t.Errorf("fired with rates %g/%g below threshold", fast, slow)
+		}
+	}
+
+	// One 5xx against the 0.1% availability budget is a 1000x burn in
+	// both windows: the episode starts, exactly once.
+	tr.observe("availability", true)
+	tr.observe("availability", true)
+	if len(fired) != 1 || fired[0] != "availability" {
+		t.Fatalf("fired = %v, want one availability event", fired)
+	}
+	s := snapFor(t, tr, "availability")
+	if !s.fastBurnActive || s.fastBurnEvents != 1 {
+		t.Fatalf("active=%v events=%d, want active with 1 event", s.fastBurnActive, s.fastBurnEvents)
+	}
+
+	// Good traffic after the fast window slid past the failures clears
+	// the episode (hysteresis: fast rate back under half threshold).
+	clk.advance(sloFastWindow + time.Minute)
+	tr.observe("availability", false)
+	if s := snapFor(t, tr, "availability"); s.fastBurnActive {
+		t.Fatalf("episode did not clear after recovery")
+	}
+
+	// A fresh failure burst starts a second episode.
+	tr.observe("availability", true)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d times, want 2 (edge-triggered per episode)", len(fired))
+	}
+}
+
+func TestSLOLatencyClassification(t *testing.T) {
+	clk := newFakeClock()
+	tr := newSLOTracker(clk.Now)
+	// heuristic-fallback threshold is 100ms.
+	tr.observeLatency("heuristic-fallback", 50*time.Millisecond)
+	tr.observeLatency("heuristic-fallback", 150*time.Millisecond)
+	tr.observeLatency("no-such-rung", time.Hour) // dropped, not registered
+	s := snapFor(t, tr, "latency-heuristic-fallback")
+	if s.good != 1 || s.bad != 1 {
+		t.Fatalf("good=%d bad=%d, want 1/1", s.good, s.bad)
+	}
+	if s.budgetUsed != (0.5 / 0.01) {
+		t.Fatalf("budgetUsed = %g, want 50", s.budgetUsed)
+	}
+	for _, snap := range tr.snapshot() {
+		if snap.name == "latency-no-such-rung" {
+			t.Fatalf("unknown rung grew an objective")
+		}
+	}
+}
+
+func TestSLOSnapshotSortedAndComplete(t *testing.T) {
+	tr := newSLOTracker(nil)
+	snaps := tr.snapshot()
+	if len(snaps) != 7 { // availability + 6 rungs
+		t.Fatalf("objectives = %d, want 7", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i-1].name >= snaps[i].name {
+			t.Fatalf("snapshot not sorted: %q before %q", snaps[i-1].name, snaps[i].name)
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"pesto/internal/baselines"
 	"pesto/internal/comm"
 	"pesto/internal/fault"
+	"pesto/internal/flight"
 	"pesto/internal/gen"
 	"pesto/internal/graph"
 	"pesto/internal/incr"
@@ -571,6 +572,30 @@ type (
 // NewPlacementServer builds the placement daemon core. Mount it on any
 // http.Server and call Drain before exit.
 func NewPlacementServer(cfg ServiceConfig) *PlacementServer { return service.New(cfg) }
+
+// Flight-recorder repro bundles (see DESIGN.md, "Distributed tracing,
+// flight recorder, and SLOs"). The daemon captures one when a solve
+// crosses its rolling-p99 baseline, the ladder collapses to the
+// fallback rung, verification fails or an SLO burns too fast;
+// `pesto -replay-bundle` re-executes it byte-deterministically.
+type (
+	// FlightBundle is one self-contained repro capture: graph, options,
+	// seed, spans, and the served response bytes.
+	FlightBundle = flight.Bundle
+	// FlightReplayResult reports whether a replay reproduced the
+	// captured response byte-for-byte.
+	FlightReplayResult = service.ReplayResult
+)
+
+// ReadFlightBundle loads and schema-checks one bundle file.
+func ReadFlightBundle(path string) (FlightBundle, error) { return flight.ReadBundleFile(path) }
+
+// ReplayFlightBundle re-executes a captured bundle: same graph, same
+// normalized options, same seed. parallel only changes speed, never
+// bytes (zero = GOMAXPROCS).
+func ReplayFlightBundle(ctx context.Context, b FlightBundle, parallel int) (FlightReplayResult, error) {
+	return service.ReplayBundle(ctx, b, parallel)
+}
 
 // GraphFingerprint returns the canonical SHA-256 content address of a
 // graph: clone-stable, insensitive to node names and edge insertion

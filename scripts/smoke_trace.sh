@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# smoke_trace.sh — end-to-end smoke test of fleet-wide distributed
+# tracing:
+#
+#   start three standalone pestod replicas and a router fronting them,
+#   solve a graph under a client-chosen X-Pesto-Trace ID, fetch
+#   GET /v1/requests/{id}/trace and require a stitched Chrome trace
+#   carrying both the router's hop lane and the serving replica's
+#   solver spans. Then kill the replica that served, solve again under
+#   a fresh trace ID, and require the stitched trace to show the
+#   failover: a dead-replica hop with an error next to the served hop.
+#
+# Usage: scripts/smoke_trace.sh  (or: make trace-smoke)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PORT="${PESTOD_TRACE_PORT:-18371}"
+BPORT1=$((PORT + 1))
+BPORT2=$((PORT + 2))
+BPORT3=$((PORT + 3))
+WORK="$(mktemp -d)"
+PIDS=""
+
+cleanup() {
+    for p in $PIDS; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "trace-smoke: FAIL: $*" >&2; exit 1; }
+
+wait_healthy() { # url logfile pid
+    for i in $(seq 1 100); do
+        if curl -fsS "$1/healthz" > /dev/null 2>&1; then return 0; fi
+        kill -0 "$3" 2>/dev/null || { cat "$2" >&2; fail "process exited during startup"; }
+        sleep 0.1
+    done
+    fail "no healthy /healthz at $1"
+}
+
+echo "trace-smoke: building pestod"
+go build -o "$WORK/pestod" ./cmd/pestod
+
+printf '{"graph": %s, "options": {"budgetMs": 500}}' \
+    "$(cat cmd/pestod/testdata/smoke_graph.json)" > "$WORK/req.json"
+
+echo "trace-smoke: starting three replicas + HTTP router"
+for i in 1 2 3; do
+    bport=$((PORT + i))
+    "$WORK/pestod" -addr "127.0.0.1:$bport" -solvers 2 -budget 2s > "$WORK/b$i.log" 2>&1 &
+    pid=$!; PIDS="$PIDS $pid"; disown "$pid"
+    eval "B${i}_PID=$pid"
+done
+wait_healthy "http://127.0.0.1:$BPORT1" "$WORK/b1.log" "$B1_PID"
+wait_healthy "http://127.0.0.1:$BPORT2" "$WORK/b2.log" "$B2_PID"
+wait_healthy "http://127.0.0.1:$BPORT3" "$WORK/b3.log" "$B3_PID"
+"$WORK/pestod" -addr "127.0.0.1:$PORT" \
+    -fleet-backends "http://127.0.0.1:$BPORT1,http://127.0.0.1:$BPORT2,http://127.0.0.1:$BPORT3" \
+    > "$WORK/router.log" 2>&1 &
+R_PID=$!; PIDS="$PIDS $R_PID"; disown "$R_PID"
+BASE="http://127.0.0.1:$PORT"
+wait_healthy "$BASE" "$WORK/router.log" "$R_PID"
+
+echo "trace-smoke: solve under a client trace ID"
+code=$(curl -sS -o "$WORK/resp1.json" -w '%{http_code}' -D "$WORK/h1" \
+    -H 'Content-Type: application/json' \
+    -H 'X-Pesto-Trace: smoke-trace-1;hop=0;parent=0' \
+    --data-binary @"$WORK/req.json" "$BASE/v1/place")
+[ "$code" = 200 ] || { cat "$WORK/resp1.json" >&2; fail "solve status $code"; }
+grep -qi '^x-pesto-trace: smoke-trace-1' "$WORK/h1" || fail "trace ID not echoed"
+served=$(grep -i '^x-pesto-replica:' "$WORK/h1" | tr -d '\r' | awk '{print $2}')
+[ -n "$served" ] || fail "no X-Pesto-Replica header"
+
+echo "trace-smoke: stitched trace carries router hops and replica spans"
+code=$(curl -sS -o "$WORK/trace1.json" -w '%{http_code}' "$BASE/v1/requests/smoke-trace-1/trace")
+[ "$code" = 200 ] || { cat "$WORK/trace1.json" >&2; fail "stitched trace status $code"; }
+grep -q '"traceEvents"' "$WORK/trace1.json" || fail "not a Chrome trace file"
+grep -q 'fleet router' "$WORK/trace1.json" || fail "router hop lane missing"
+grep -q "replica $served" "$WORK/trace1.json" || fail "serving replica lane missing"
+grep -q 'placement\.' "$WORK/trace1.json" || fail "replica solver spans missing from stitched trace"
+
+echo "trace-smoke: unknown trace IDs 404"
+code=$(curl -sS -o /dev/null -w '%{http_code}' "$BASE/v1/requests/no-such-trace/trace")
+[ "$code" = 404 ] || fail "unknown trace returned $code, want 404"
+
+echo "trace-smoke: kill the serving replica ($served)"
+sport="${served##*:}"
+case "$sport" in
+    "$BPORT1") kill -9 "$B1_PID" ;;
+    "$BPORT2") kill -9 "$B2_PID" ;;
+    "$BPORT3") kill -9 "$B3_PID" ;;
+    *) fail "cannot map serving replica $served to a pid" ;;
+esac
+
+echo "trace-smoke: repeat solve must fail over, trace must show it"
+code=$(curl -sS -o "$WORK/resp2.json" -w '%{http_code}' -D "$WORK/h2" \
+    -H 'Content-Type: application/json' \
+    -H 'X-Pesto-Trace: smoke-trace-2;hop=0;parent=0' \
+    --data-binary @"$WORK/req.json" "$BASE/v1/place")
+[ "$code" = 200 ] || { cat "$WORK/resp2.json" >&2; fail "post-kill solve status $code"; }
+served2=$(grep -i '^x-pesto-replica:' "$WORK/h2" | tr -d '\r' | awk '{print $2}')
+[ "$served2" != "$served" ] || fail "dead replica $served still serving"
+cmp -s "$WORK/resp1.json" "$WORK/resp2.json" || fail "failover plan differs from original"
+
+code=$(curl -sS -o "$WORK/trace2.json" -w '%{http_code}' "$BASE/v1/requests/smoke-trace-2/trace")
+[ "$code" = 200 ] || { cat "$WORK/trace2.json" >&2; fail "failover trace status $code"; }
+grep -q '"err"' "$WORK/trace2.json" || fail "failover trace has no failed hop"
+grep -q '"served":true' "$WORK/trace2.json" || fail "failover trace has no served hop"
+grep -q "replica $served2" "$WORK/trace2.json" || fail "failover replica lane missing"
+
+echo "trace-smoke: PASS"
